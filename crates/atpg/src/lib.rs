@@ -1,0 +1,46 @@
+//! Deterministic test pattern generation (PODEM) for stuck-at faults
+//! in full-scan circuits.
+//!
+//! The diagnosis experiments in this workspace run on pseudorandom
+//! BIST patterns (as the paper does); this crate supplies the
+//! deterministic complement a DFT flow needs:
+//!
+//! * quantify what pseudorandom patterns *miss* (random-pattern-
+//!   resistant faults) and top them off with generated cubes;
+//! * prove faults redundant (untestable), which calibrates the
+//!   coverage statistics of the synthetic benchmark circuits;
+//! * produce guaranteed-detecting patterns for worked examples.
+//!
+//! The generator is a classical PODEM: decisions on primary inputs and
+//! scan state bits only, full five-valued forward implication per
+//! decision ([`logic`]), activation/D-frontier objectives with
+//! backtrace, and bounded backtracking. [`run_atpg`] adds
+//! fault-simulation-based pattern dropping over the collapsed fault
+//! universe, cross-verified against the independent bit-parallel
+//! simulator from `scan-sim`.
+//!
+//! # Examples
+//!
+//! ```
+//! use scan_atpg::{run_atpg, PodemLimits};
+//! use scan_netlist::bench;
+//!
+//! let s27 = bench::s27();
+//! let result = run_atpg(&s27, &PodemLimits::default(), 1);
+//! assert!(result.coverage() > 0.95);
+//! assert_eq!(result.aborted, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::must_use_candidate, clippy::module_name_repetitions)]
+#![allow(clippy::cast_precision_loss)]
+
+pub mod logic;
+mod pattern;
+mod podem;
+mod runner;
+
+pub use pattern::TestPattern;
+pub use podem::{Podem, PodemLimits, PodemResult};
+pub use runner::{run_atpg, single_pattern_set, AtpgResult};

@@ -1,0 +1,240 @@
+//! Five-valued test generation logic.
+//!
+//! PODEM reasons about the good and the faulty machine at once; each
+//! net carries one of five values: `0`, `1`, `X` (unassigned), `D`
+//! (good 1 / faulty 0) and `D̄` (good 0 / faulty 1).
+
+use scan_netlist::GateKind;
+
+/// Three-valued component logic (one machine).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum Trit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unassigned / unknown.
+    X,
+}
+
+impl Trit {
+    /// Converts a concrete bool.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The complement (X stays X).
+    #[must_use]
+    pub fn complement(self) -> Self {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+}
+
+/// The composite five-valued domain.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub enum V5 {
+    /// 0 in both machines.
+    Zero,
+    /// 1 in both machines.
+    One,
+    /// Unassigned.
+    X,
+    /// Good 1, faulty 0 (the fault effect).
+    D,
+    /// Good 0, faulty 1 (the complementary fault effect).
+    DBar,
+}
+
+impl V5 {
+    /// The good-machine component.
+    #[must_use]
+    pub fn good(self) -> Trit {
+        match self {
+            V5::Zero | V5::DBar => Trit::Zero,
+            V5::One | V5::D => Trit::One,
+            V5::X => Trit::X,
+        }
+    }
+
+    /// The faulty-machine component.
+    #[must_use]
+    pub fn faulty(self) -> Trit {
+        match self {
+            V5::Zero | V5::D => Trit::Zero,
+            V5::One | V5::DBar => Trit::One,
+            V5::X => Trit::X,
+        }
+    }
+
+    /// Reassembles a five-valued value from components. Any `X`
+    /// component makes the composite `X` (pessimistic, standard for
+    /// PODEM implication).
+    #[must_use]
+    pub fn from_parts(good: Trit, faulty: Trit) -> Self {
+        match (good, faulty) {
+            (Trit::Zero, Trit::Zero) => V5::Zero,
+            (Trit::One, Trit::One) => V5::One,
+            (Trit::One, Trit::Zero) => V5::D,
+            (Trit::Zero, Trit::One) => V5::DBar,
+            _ => V5::X,
+        }
+    }
+
+    /// Converts a concrete bool (same value in both machines).
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// The complement (`D̄` for `D`, `X` stays `X`).
+    #[must_use]
+    pub fn complement(self) -> Self {
+        match self {
+            V5::Zero => V5::One,
+            V5::One => V5::Zero,
+            V5::X => V5::X,
+            V5::D => V5::DBar,
+            V5::DBar => V5::D,
+        }
+    }
+
+    /// Returns `true` if the value carries a fault effect.
+    #[must_use]
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, V5::D | V5::DBar)
+    }
+}
+
+impl std::ops::Not for Trit {
+    type Output = Trit;
+
+    fn not(self) -> Trit {
+        self.complement()
+    }
+}
+
+impl std::ops::Not for V5 {
+    type Output = V5;
+
+    fn not(self) -> V5 {
+        self.complement()
+    }
+}
+
+fn and3(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::Zero, _) | (_, Trit::Zero) => Trit::Zero,
+        (Trit::One, Trit::One) => Trit::One,
+        _ => Trit::X,
+    }
+}
+
+fn or3(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::One, _) | (_, Trit::One) => Trit::One,
+        (Trit::Zero, Trit::Zero) => Trit::Zero,
+        _ => Trit::X,
+    }
+}
+
+fn xor3(a: Trit, b: Trit) -> Trit {
+    match (a, b) {
+        (Trit::X, _) | (_, Trit::X) => Trit::X,
+        (x, y) if x == y => Trit::Zero,
+        _ => Trit::One,
+    }
+}
+
+/// Evaluates a gate over five-valued inputs by evaluating the two
+/// machines independently and recombining.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+#[must_use]
+pub fn eval_gate(kind: GateKind, inputs: &[V5]) -> V5 {
+    assert!(!inputs.is_empty(), "gate must have inputs");
+    let fold = |component: fn(V5) -> Trit| -> Trit {
+        let mut acc = component(inputs[0]);
+        let op: fn(Trit, Trit) -> Trit = match kind {
+            GateKind::And | GateKind::Nand => and3,
+            GateKind::Or | GateKind::Nor => or3,
+            GateKind::Xor | GateKind::Xnor => xor3,
+            GateKind::Not | GateKind::Buf => |a, _| a,
+        };
+        for &v in &inputs[1..] {
+            acc = op(acc, component(v));
+        }
+        if kind.is_inverting() {
+            acc.complement()
+        } else {
+            acc
+        }
+    };
+    V5::from_parts(fold(V5::good), fold(V5::faulty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_roundtrip() {
+        for v in [V5::Zero, V5::One, V5::D, V5::DBar] {
+            assert_eq!(V5::from_parts(v.good(), v.faulty()), v);
+        }
+        assert_eq!(V5::from_parts(Trit::X, Trit::X), V5::X);
+        assert_eq!(V5::from_parts(Trit::One, Trit::X), V5::X);
+    }
+
+    #[test]
+    fn and_gate_propagates_d() {
+        // D AND 1 = D; D AND 0 = 0; D AND X = X.
+        assert_eq!(eval_gate(GateKind::And, &[V5::D, V5::One]), V5::D);
+        assert_eq!(eval_gate(GateKind::And, &[V5::D, V5::Zero]), V5::Zero);
+        assert_eq!(eval_gate(GateKind::And, &[V5::D, V5::X]), V5::X);
+        // D AND D̄ = 0 (good 1∧0=0, faulty 0∧1=0).
+        assert_eq!(eval_gate(GateKind::And, &[V5::D, V5::DBar]), V5::Zero);
+    }
+
+    #[test]
+    fn nand_inverts() {
+        assert_eq!(eval_gate(GateKind::Nand, &[V5::D, V5::One]), V5::DBar);
+        assert_eq!(eval_gate(GateKind::Nand, &[V5::Zero, V5::X]), V5::One);
+    }
+
+    #[test]
+    fn xor_propagates_d() {
+        assert_eq!(eval_gate(GateKind::Xor, &[V5::D, V5::Zero]), V5::D);
+        assert_eq!(eval_gate(GateKind::Xor, &[V5::D, V5::One]), V5::DBar);
+        // D XOR D = 0 in both machines.
+        assert_eq!(eval_gate(GateKind::Xor, &[V5::D, V5::D]), V5::Zero);
+    }
+
+    #[test]
+    fn not_and_buf() {
+        assert_eq!(eval_gate(GateKind::Not, &[V5::D]), V5::DBar);
+        assert_eq!(eval_gate(GateKind::Buf, &[V5::DBar]), V5::DBar);
+        assert_eq!(eval_gate(GateKind::Not, &[V5::X]), V5::X);
+    }
+
+    #[test]
+    fn v5_not_is_involutive() {
+        for v in [V5::Zero, V5::One, V5::X, V5::D, V5::DBar] {
+            assert_eq!(v.complement().complement(), v);
+        }
+    }
+}

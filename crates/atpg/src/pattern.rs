@@ -1,0 +1,84 @@
+//! Deterministic test patterns (cubes) produced by the generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scan_netlist::Netlist;
+
+use crate::logic::Trit;
+
+/// One deterministic test cube for a full-scan circuit: a (possibly
+/// partial) assignment to the primary inputs and the scan-loaded
+/// flip-flop states.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct TestPattern {
+    /// Primary input assignments, indexed like
+    /// [`Netlist::inputs`].
+    pub pi: Vec<Trit>,
+    /// Scan-load assignments, indexed like [`Netlist::dffs`].
+    pub state: Vec<Trit>,
+}
+
+impl TestPattern {
+    /// An all-`X` cube shaped for `netlist`.
+    #[must_use]
+    pub fn unassigned(netlist: &Netlist) -> Self {
+        TestPattern {
+            pi: vec![Trit::X; netlist.num_inputs()],
+            state: vec![Trit::X; netlist.num_dffs()],
+        }
+    }
+
+    /// Number of specified (non-`X`) bits.
+    #[must_use]
+    pub fn specified_bits(&self) -> usize {
+        self.pi
+            .iter()
+            .chain(&self.state)
+            .filter(|&&t| t != Trit::X)
+            .count()
+    }
+
+    /// Fills the don't-care positions with seeded random values,
+    /// returning fully specified PI and state bit vectors.
+    #[must_use]
+    pub fn x_fill(&self, seed: u64) -> (Vec<bool>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fill = |t: &Trit, rng: &mut StdRng| match t {
+            Trit::Zero => false,
+            Trit::One => true,
+            Trit::X => rng.gen(),
+        };
+        let pi = self.pi.iter().map(|t| fill(t, &mut rng)).collect();
+        let state = self.state.iter().map(|t| fill(t, &mut rng)).collect();
+        (pi, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_netlist::bench;
+
+    #[test]
+    fn unassigned_shape() {
+        let n = bench::s27();
+        let p = TestPattern::unassigned(&n);
+        assert_eq!(p.pi.len(), 4);
+        assert_eq!(p.state.len(), 3);
+        assert_eq!(p.specified_bits(), 0);
+    }
+
+    #[test]
+    fn x_fill_respects_assignments() {
+        let n = bench::s27();
+        let mut p = TestPattern::unassigned(&n);
+        p.pi[0] = Trit::One;
+        p.state[2] = Trit::Zero;
+        let (pi, state) = p.x_fill(1);
+        assert!(pi[0]);
+        assert!(!state[2]);
+        // X-fill is reproducible.
+        assert_eq!(p.x_fill(1), (pi, state));
+    }
+}

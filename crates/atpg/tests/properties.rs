@@ -1,0 +1,101 @@
+//! Property-based tests for the ATPG crate: every generated cube is a
+//! real test, five-valued logic laws hold, and X-fill never violates
+//! assignments.
+
+use proptest::prelude::*;
+
+use scan_atpg::logic::{eval_gate, Trit, V5};
+use scan_atpg::{single_pattern_set, Podem, PodemLimits, PodemResult};
+use scan_netlist::generate::{generate_with, profile, GeneratorConfig};
+use scan_netlist::{GateKind, ScanView};
+use scan_sim::{FaultSimulator, FaultUniverse};
+
+/// Concretize a V5 value in the good machine (X → pick).
+fn good_bool(v: V5, pick: bool) -> bool {
+    match v.good() {
+        Trit::One => true,
+        Trit::Zero => false,
+        Trit::X => pick,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Five-valued gate evaluation is consistent with boolean
+    /// evaluation on the good machine whenever inputs are known.
+    #[test]
+    fn v5_consistent_with_boolean(
+        kind_idx in 0usize..8,
+        vals in prop::collection::vec(0u8..4, 1..4),
+        pick in any::<bool>(),
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        let v5s: Vec<V5> = vals
+            .iter()
+            .map(|&v| match v {
+                0 => V5::Zero,
+                1 => V5::One,
+                2 => V5::D,
+                _ => V5::DBar,
+            })
+            .collect();
+        let v5s = if kind.is_unary() { vec![v5s[0]] } else if v5s.len() < 2 { vec![v5s[0], v5s[0]] } else { v5s };
+        let out = eval_gate(kind, &v5s);
+        // Good machine booleans.
+        let bools: Vec<bool> = v5s.iter().map(|&v| good_bool(v, pick)).collect();
+        let expected = kind.eval_bools(&bools);
+        prop_assert_eq!(good_bool(out, pick), expected);
+    }
+
+    /// Every cube PODEM produces for a sampled fault of a random
+    /// synthetic circuit is verified as a test by the independent
+    /// simulator.
+    #[test]
+    fn podem_cubes_always_verify(seed in 0u64..10, fill_seed in 0u64..8) {
+        let p = profile("s344").unwrap();
+        let netlist = generate_with(p, seed, &GeneratorConfig::default());
+        let view = ScanView::natural(&netlist, true);
+        let mut podem = Podem::new(&netlist);
+        let universe = FaultUniverse::collapsed(&netlist);
+        for fault in universe.faults().iter().step_by(17).take(12) {
+            if let PodemResult::Test(cube) = podem.generate(fault, &PodemLimits::default()) {
+                let (pi, state) = cube.x_fill(fill_seed);
+                let pattern_set = single_pattern_set(&netlist, &pi, &state);
+                let fsim = FaultSimulator::new(&netlist, &view, &pattern_set).unwrap();
+                prop_assert!(
+                    fsim.is_detected(fault),
+                    "cube fails for {}",
+                    fault.describe(&netlist)
+                );
+            }
+        }
+    }
+
+    /// X-fill preserves every specified bit of the cube.
+    #[test]
+    fn x_fill_preserves_assignments(seed in 0u64..20) {
+        let netlist = scan_netlist::bench::s27();
+        let mut podem = Podem::new(&netlist);
+        let universe = FaultUniverse::collapsed(&netlist);
+        for fault in universe.faults().iter().take(10) {
+            if let PodemResult::Test(cube) = podem.generate(fault, &PodemLimits::default()) {
+                let (pi, state) = cube.x_fill(seed);
+                for (bit, trit) in pi.iter().zip(&cube.pi) {
+                    match trit {
+                        Trit::One => prop_assert!(*bit),
+                        Trit::Zero => prop_assert!(!*bit),
+                        Trit::X => {}
+                    }
+                }
+                for (bit, trit) in state.iter().zip(&cube.state) {
+                    match trit {
+                        Trit::One => prop_assert!(*bit),
+                        Trit::Zero => prop_assert!(!*bit),
+                        Trit::X => {}
+                    }
+                }
+            }
+        }
+    }
+}

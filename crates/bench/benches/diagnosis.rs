@@ -1,0 +1,75 @@
+//! End-to-end diagnosis benchmarks: session signature analysis,
+//! candidate intersection, and pruning for one fault, plus the
+//! per-scheme ablation the paper's comparison rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scan_bist::Scheme;
+use scan_diagnosis::{
+    diagnose, lfsr_patterns, prune_by_cover, BistConfig, ChainLayout, DiagnosisPlan,
+};
+use scan_netlist::{generate, ScanView};
+use scan_sim::{ErrorMap, FaultSimulator};
+
+fn prepared_error_map() -> (usize, ErrorMap) {
+    let circuit = generate::benchmark("s5378");
+    let view = ScanView::natural(&circuit, true);
+    let patterns = lfsr_patterns(&circuit, 128, 0xACE1);
+    let fsim = FaultSimulator::new(&circuit, &view, &patterns).expect("shapes match");
+    let fault = fsim.sample_detected_faults(1, 2003)[0];
+    (view.len(), fsim.error_map(&fault))
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_construction");
+    group.sample_size(20);
+    for (label, scheme) in [
+        ("random", Scheme::RandomSelection),
+        ("two_step", Scheme::TWO_STEP_DEFAULT),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    DiagnosisPlan::new(
+                        ChainLayout::single_chain(228),
+                        128,
+                        &BistConfig::new(8, 8, scheme),
+                    )
+                    .expect("plan builds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_fault_diagnosis(c: &mut Criterion) {
+    let (chain_len, errors) = prepared_error_map();
+    let mut group = c.benchmark_group("single_fault_diagnosis_s5378");
+    group.sample_size(30);
+    for (label, scheme) in [
+        ("random", Scheme::RandomSelection),
+        ("interval", Scheme::IntervalBased),
+        ("two_step", Scheme::TWO_STEP_DEFAULT),
+    ] {
+        let plan = DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            128,
+            &BistConfig::new(8, 8, scheme),
+        )
+        .expect("plan builds");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = plan.analyze(errors.iter_bits());
+                let diag = diagnose(&plan, &outcome);
+                let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+                black_box((diag.num_candidates(), pruned.len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_construction, bench_single_fault_diagnosis);
+criterion_main!(benches);

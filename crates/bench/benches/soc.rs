@@ -1,0 +1,76 @@
+//! Benchmarks for the SOC pipeline: SOC construction, campaign
+//! preparation (pattern generation + fault sampling + error maps), and
+//! meta-chain diagnosis of one fault on the paper's SOC 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scan_bist::Scheme;
+use scan_diagnosis::{diagnose, CampaignSpec, ChainLayout, DiagnosisPlan, PreparedCampaign};
+use scan_sim::FaultSimulator;
+use scan_soc::d695;
+
+fn bench_soc_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_construction");
+    group.sample_size(10);
+    group.bench_function("soc1_six_largest", |b| {
+        b.iter(|| black_box(d695::soc1().expect("SOC 1 builds")));
+    });
+    group.finish();
+}
+
+fn bench_campaign_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_campaign_prep");
+    group.sample_size(10);
+    let soc = d695::soc1().expect("SOC 1 builds");
+    let mut spec = CampaignSpec::new(128, 32, 8);
+    spec.num_faults = 50;
+    group.bench_function("s9234_core_50_faults", |b| {
+        b.iter(|| {
+            black_box(PreparedCampaign::from_soc(&soc, 0, &spec).expect("campaign prepares"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_meta_chain_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_meta_chain_diagnosis");
+    group.sample_size(20);
+    let soc = d695::soc1().expect("SOC 1 builds");
+    let core = &soc.cores()[0];
+    let patterns = scan_diagnosis::lfsr_patterns(core.netlist(), 128, 0xACE1);
+    let fsim = FaultSimulator::new(core.netlist(), core.view(), &patterns).expect("shapes");
+    let fault = fsim.sample_detected_faults(1, 1)[0];
+    let mut local_to_global = vec![usize::MAX; core.view().len()];
+    for (global, (cell, _, _)) in soc.layout().into_iter().enumerate() {
+        if cell.core == 0 {
+            local_to_global[cell.local as usize] = global;
+        }
+    }
+    let bits: Vec<(usize, usize)> = fsim
+        .error_map(&fault)
+        .iter_bits()
+        .map(|(pos, pat)| (local_to_global[pos], pat))
+        .collect();
+    let plan = DiagnosisPlan::new(
+        ChainLayout::from_soc(&soc),
+        128,
+        &scan_diagnosis::BistConfig::new(32, 8, Scheme::TWO_STEP_DEFAULT),
+    )
+    .expect("plan builds");
+    group.bench_function("one_fault_7244_cells", |b| {
+        b.iter(|| {
+            let outcome = plan.analyze(bits.iter().copied());
+            black_box(diagnose(&plan, &outcome).num_candidates())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_soc_construction,
+    bench_campaign_preparation,
+    bench_meta_chain_diagnosis
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Orchestrator: runs every table, figure, and extension binary and
+//! collects their outputs under `results/`.
+//!
+//! ```sh
+//! cargo run --release -p scan-bench --bin all_experiments [out_dir]
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every experiment binary, in reporting order.
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure3",
+    "figure5",
+    "clustering",
+    "ablation_ordering",
+    "ablation_misr",
+    "ablation_interval_count",
+    "ablation_xmask",
+    "ablation_chain_mask",
+    "multifault",
+    "vectors",
+    "windows",
+    "adaptive_compare",
+    "dictionary",
+    "localization",
+    "two_faulty_cores",
+    "overhead",
+    "compactors",
+    "coverage",
+    "weighted",
+    "topoff",
+    "diagnosis_time",
+    "chain_defects",
+];
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&out_dir).expect("create results directory");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("binary directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let binary = exe_dir.join(name);
+        eprintln!("running {name}…");
+        let output = Command::new(&binary).output();
+        match output {
+            Ok(output) if output.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                std::fs::write(&path, &output.stdout).expect("write result file");
+                println!("{name}: ok → {}", path.display());
+            }
+            Ok(output) => {
+                failures.push(*name);
+                println!("{name}: FAILED (status {})", output.status);
+            }
+            Err(e) => {
+                failures.push(*name);
+                println!("{name}: could not run ({e}) — build with `cargo build --release -p scan-bench` first");
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("all {} experiments completed into {}", EXPERIMENTS.len(), out_dir.display());
+    } else {
+        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the scan-BIST building blocks.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing an LFSR or MISR.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub enum BuildLfsrError {
+    /// No primitive polynomial is tabulated for the requested degree.
+    UnsupportedDegree {
+        /// The requested degree.
+        degree: u32,
+    },
+    /// A caller-supplied polynomial was malformed (degree 0, or degree
+    /// above 63).
+    InvalidPolynomial {
+        /// The offending polynomial, as a coefficient bit mask.
+        poly: u64,
+    },
+}
+
+impl fmt::Display for BuildLfsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildLfsrError::UnsupportedDegree { degree } => {
+                write!(f, "no tabulated primitive polynomial of degree {degree}")
+            }
+            BuildLfsrError::InvalidPolynomial { poly } => {
+                write!(f, "invalid feedback polynomial {poly:#x}")
+            }
+        }
+    }
+}
+
+impl Error for BuildLfsrError {}
+
+/// Error returned when an interval-cover seed cannot be found.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub struct FindSeedError {
+    /// Scan chain length the search was run for.
+    pub chain_len: usize,
+    /// Number of groups requested.
+    pub groups: u16,
+    /// Number of candidate seeds examined.
+    pub examined: u64,
+}
+
+impl fmt::Display for FindSeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no interval seed covers a chain of {} cells with {} groups after {} candidates",
+            self.chain_len, self.groups, self.examined
+        )
+    }
+}
+
+impl Error for FindSeedError {}

@@ -1,0 +1,334 @@
+//! Minimal dependency-free argument parsing for the `scanbist` CLI.
+
+use std::error::Error;
+use std::fmt;
+
+use scan_bist::Scheme;
+
+/// A parsed `scanbist` invocation.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum Command {
+    /// `scanbist parse <file.bench>` — parse and validate a netlist.
+    Parse {
+        /// Path to the `.bench` file.
+        path: String,
+    },
+    /// `scanbist stats <circuit>` — structural statistics.
+    Stats {
+        /// Benchmark name or `.bench` path.
+        circuit: String,
+    },
+    /// `scanbist coverage <circuit> [--patterns N]` — pseudorandom
+    /// stuck-at coverage.
+    Coverage {
+        /// Benchmark name or `.bench` path.
+        circuit: String,
+        /// Pattern budget.
+        patterns: usize,
+    },
+    /// `scanbist atpg <circuit>` — deterministic test generation.
+    Atpg {
+        /// Benchmark name or `.bench` path.
+        circuit: String,
+    },
+    /// `scanbist diagnose <circuit> [options]` — fault-injection
+    /// diagnosis campaign.
+    Diagnose {
+        /// Benchmark name or `.bench` path.
+        circuit: String,
+        /// Groups per partition.
+        groups: u16,
+        /// Number of partitions.
+        partitions: usize,
+        /// Patterns per session.
+        patterns: usize,
+        /// Faults to inject.
+        faults: usize,
+        /// Partitioning scheme.
+        scheme: Scheme,
+        /// Diagnose one named fault (`NET/SA0` or `NET/SA1`) and print
+        /// its full evidence trail instead of running a campaign.
+        fault: Option<String>,
+    },
+    /// `scanbist soc <descriptor.soc> --faulty <core> [options]` — SOC
+    /// diagnosis with one faulty core.
+    Soc {
+        /// Path to the `.soc` descriptor.
+        path: String,
+        /// Name of the assumed-faulty core.
+        faulty: String,
+        /// Groups per partition.
+        groups: u16,
+        /// Number of partitions.
+        partitions: usize,
+        /// Partitioning scheme.
+        scheme: Scheme,
+    },
+    /// `scanbist help` / `--help`.
+    Help,
+}
+
+/// Error produced when the command line cannot be parsed.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+fn scheme_from(name: &str) -> Result<Scheme, ParseArgsError> {
+    match name {
+        "two-step" => Ok(Scheme::TWO_STEP_DEFAULT),
+        "random" => Ok(Scheme::RandomSelection),
+        "interval" => Ok(Scheme::IntervalBased),
+        "fixed" => Ok(Scheme::FixedInterval),
+        other => Err(ParseArgsError(format!(
+            "unknown scheme `{other}` (expected two-step|random|interval|fixed)"
+        ))),
+    }
+}
+
+fn take_value<'a, I>(flag: &str, words: &mut I) -> Result<&'a str, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    words
+        .next()
+        .ok_or_else(|| ParseArgsError(format!("flag `{flag}` needs a value")))
+}
+
+/// A parsed invocation: the command plus global output options.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct Invocation {
+    /// Emit one JSON object instead of human-readable text (supported
+    /// by `coverage`, `atpg`, `diagnose`, and `soc`).
+    pub json: bool,
+    /// The command to execute.
+    pub command: Command,
+}
+
+/// Parses the full argument list including global flags (currently
+/// `--json`, which may appear before the subcommand).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] for any malformed invocation.
+pub fn parse_invocation<'a, I>(args: I) -> Result<Invocation, ParseArgsError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut rest: Vec<&str> = args.into_iter().collect();
+    let json = rest.first() == Some(&"--json");
+    if json {
+        rest.remove(0);
+    }
+    Ok(Invocation {
+        json,
+        command: parse_args(rest)?,
+    })
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] with a human-readable message for any
+/// malformed invocation.
+pub fn parse_args<'a, I>(args: I) -> Result<Command, ParseArgsError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut words = args.into_iter();
+    let Some(command) = words.next() else {
+        return Ok(Command::Help);
+    };
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "parse" => {
+            let path = take_value("parse", &mut words)?.to_owned();
+            ensure_done(words)?;
+            Ok(Command::Parse { path })
+        }
+        "stats" => {
+            let circuit = take_value("stats", &mut words)?.to_owned();
+            ensure_done(words)?;
+            Ok(Command::Stats { circuit })
+        }
+        "coverage" => {
+            let circuit = take_value("coverage", &mut words)?.to_owned();
+            let mut patterns = 128usize;
+            while let Some(flag) = words.next() {
+                match flag {
+                    "--patterns" => patterns = parse_num(take_value(flag, &mut words)?)?,
+                    other => return Err(unknown_flag(other)),
+                }
+            }
+            Ok(Command::Coverage { circuit, patterns })
+        }
+        "atpg" => {
+            let circuit = take_value("atpg", &mut words)?.to_owned();
+            ensure_done(words)?;
+            Ok(Command::Atpg { circuit })
+        }
+        "diagnose" => {
+            let circuit = take_value("diagnose", &mut words)?.to_owned();
+            let mut groups = 8u16;
+            let mut partitions = 8usize;
+            let mut patterns = 128usize;
+            let mut faults = 100usize;
+            let mut scheme = Scheme::TWO_STEP_DEFAULT;
+            let mut fault = None;
+            while let Some(flag) = words.next() {
+                match flag {
+                    "--groups" => groups = parse_num(take_value(flag, &mut words)?)?,
+                    "--partitions" => partitions = parse_num(take_value(flag, &mut words)?)?,
+                    "--patterns" => patterns = parse_num(take_value(flag, &mut words)?)?,
+                    "--faults" => faults = parse_num(take_value(flag, &mut words)?)?,
+                    "--scheme" => scheme = scheme_from(take_value(flag, &mut words)?)?,
+                    "--fault" => fault = Some(take_value(flag, &mut words)?.to_owned()),
+                    other => return Err(unknown_flag(other)),
+                }
+            }
+            Ok(Command::Diagnose {
+                circuit,
+                groups,
+                partitions,
+                patterns,
+                faults,
+                scheme,
+                fault,
+            })
+        }
+        "soc" => {
+            let path = take_value("soc", &mut words)?.to_owned();
+            let mut faulty: Option<String> = None;
+            let mut groups = 16u16;
+            let mut partitions = 8usize;
+            let mut scheme = Scheme::TWO_STEP_DEFAULT;
+            while let Some(flag) = words.next() {
+                match flag {
+                    "--faulty" => faulty = Some(take_value(flag, &mut words)?.to_owned()),
+                    "--groups" => groups = parse_num(take_value(flag, &mut words)?)?,
+                    "--partitions" => partitions = parse_num(take_value(flag, &mut words)?)?,
+                    "--scheme" => scheme = scheme_from(take_value(flag, &mut words)?)?,
+                    other => return Err(unknown_flag(other)),
+                }
+            }
+            let faulty =
+                faulty.ok_or_else(|| ParseArgsError("`soc` requires --faulty <core>".into()))?;
+            Ok(Command::Soc {
+                path,
+                faulty,
+                groups,
+                partitions,
+                scheme,
+            })
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown command `{other}` (try `scanbist help`)"
+        ))),
+    }
+}
+
+fn ensure_done<'a, I: Iterator<Item = &'a str>>(mut words: I) -> Result<(), ParseArgsError> {
+    match words.next() {
+        None => Ok(()),
+        Some(extra) => Err(ParseArgsError(format!("unexpected argument `{extra}`"))),
+    }
+}
+
+fn unknown_flag(flag: &str) -> ParseArgsError {
+    ParseArgsError(format!("unknown flag `{flag}`"))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> Result<T, ParseArgsError> {
+    text.parse()
+        .map_err(|_| ParseArgsError(format!("`{text}` is not a valid number")))
+}
+
+/// The help text printed by `scanbist help`.
+pub const HELP: &str = "\
+scanbist — partition-based scan-BIST failing-cell diagnosis
+
+USAGE:
+  scanbist parse <file.bench>
+  scanbist stats <circuit>
+  scanbist coverage <circuit> [--patterns N]
+  scanbist atpg <circuit>
+  scanbist diagnose <circuit> [--groups G] [--partitions P]
+                    [--patterns N] [--faults F]
+                    [--scheme two-step|random|interval|fixed]
+                    [--fault NET/SA0]   (single-fault evidence report)
+  scanbist soc <file.soc> --faulty <core> [--groups G]
+                    [--partitions P] [--scheme ...]
+
+<circuit> is an ISCAS-89 benchmark name (synthetic stand-in; `s27`
+is the embedded real netlist) or a path to a `.bench` file.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_help_variants() {
+        assert_eq!(parse_args([]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["help"]).unwrap(), Command::Help);
+        assert_eq!(parse_args(["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_diagnose_with_flags() {
+        let cmd = parse_args([
+            "diagnose", "s953", "--groups", "4", "--partitions", "6", "--scheme", "random",
+            "--faults", "250",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Diagnose {
+                circuit: "s953".into(),
+                groups: 4,
+                partitions: 6,
+                patterns: 128,
+                faults: 250,
+                scheme: Scheme::RandomSelection,
+                fault: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_single_fault_mode() {
+        let cmd = parse_args(["diagnose", "s27", "--fault", "G10/SA1"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Diagnose { fault: Some(f), .. } if f == "G10/SA1"
+        ));
+    }
+
+    #[test]
+    fn parses_soc_command() {
+        let cmd = parse_args(["soc", "chip.soc", "--faulty", "s9234"]).unwrap();
+        assert!(matches!(cmd, Command::Soc { faulty, .. } if faulty == "s9234"));
+    }
+
+    #[test]
+    fn soc_requires_faulty() {
+        assert!(parse_args(["soc", "chip.soc"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse_args(["frobnicate"]).is_err());
+        assert!(parse_args(["diagnose", "s953", "--bogus", "1"]).is_err());
+        assert!(parse_args(["parse"]).is_err());
+        assert!(parse_args(["parse", "a.bench", "extra"]).is_err());
+        assert!(parse_args(["coverage", "s953", "--patterns", "many"]).is_err());
+        assert!(parse_args(["diagnose", "s953", "--scheme", "psychic"]).is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! Command execution for the `scanbist` CLI.
+
+use std::io::Write;
+
+use scan_atpg::{run_atpg, PodemLimits};
+use scan_diagnosis::{lfsr_patterns, CampaignSpec, PreparedCampaign};
+use scan_netlist::stats::{ClusteringStats, GateCensus};
+use scan_netlist::{generate, GateKind, Netlist, ScanView};
+use scan_sim::{FaultSimulator, FaultUniverse};
+use scan_soc::SocDescriptor;
+
+use crate::args::{Command, Invocation, HELP};
+use crate::json::JsonObject;
+
+/// Executes a parsed command, writing human-readable output to `out`.
+/// Returns the process exit code (0 on success, 1 on user error).
+///
+/// # Panics
+///
+/// Panics only if writing to `out` fails (broken pipe), matching
+/// standard CLI behaviour.
+pub fn run<W: Write>(command: &Command, out: &mut W) -> i32 {
+    run_invocation(
+        &Invocation {
+            json: false,
+            command: command.clone(),
+        },
+        out,
+    )
+}
+
+/// Executes a parsed invocation (honouring `--json`).
+///
+/// # Panics
+///
+/// Panics only if writing to `out` fails (broken pipe).
+pub fn run_invocation<W: Write>(invocation: &Invocation, out: &mut W) -> i32 {
+    match execute(&invocation.command, invocation.json, out) {
+        Ok(()) => 0,
+        Err(message) => {
+            if invocation.json {
+                let mut o = JsonObject::new();
+                o.string("error", &message);
+                writeln!(out, "{}", o.finish()).expect("write error message");
+            } else {
+                writeln!(out, "error: {message}").expect("write error message");
+            }
+            1
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            write!(out, "{HELP}").map_err(io_err)?;
+            Ok(())
+        }
+        Command::Parse { path } => {
+            let netlist = load_file(path)?;
+            describe(&netlist, out)?;
+            writeln!(out, "OK: netlist is structurally valid").map_err(io_err)?;
+            Ok(())
+        }
+        Command::Stats { circuit } => {
+            let netlist = load(circuit)?;
+            describe(&netlist, out)?;
+            let census = GateCensus::compute(&netlist);
+            for (kind, count) in GateKind::ALL.iter().zip(census.counts.iter()) {
+                if *count > 0 {
+                    writeln!(out, "  {kind}: {count}").map_err(io_err)?;
+                }
+            }
+            let view = ScanView::natural(&netlist, true);
+            let clustering = ClusteringStats::compute(&netlist, &view);
+            writeln!(
+                out,
+                "cone clustering: mean span {:.1} of {} positions ({:.1}%)",
+                clustering.mean_span,
+                view.len(),
+                clustering.mean_span_fraction * 100.0
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        Command::Coverage { circuit, patterns } => {
+            let netlist = load(circuit)?;
+            let view = ScanView::natural(&netlist, true);
+            let pattern_set = lfsr_patterns(&netlist, *patterns, 0xACE1);
+            let fsim = FaultSimulator::new(&netlist, &view, &pattern_set)
+                .map_err(|e| e.to_string())?;
+            let universe = FaultUniverse::collapsed(&netlist);
+            let detected = universe
+                .faults()
+                .iter()
+                .filter(|f| fsim.is_detected(f))
+                .count();
+            let fraction = detected as f64 / universe.len().max(1) as f64;
+            if json {
+                let mut o = JsonObject::new();
+                o.string("circuit", netlist.name())
+                    .number("patterns", *patterns as f64)
+                    .number("faults", universe.len() as f64)
+                    .number("detected", detected as f64)
+                    .number("coverage", fraction);
+                writeln!(out, "{}", o.finish()).map_err(io_err)?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{}: {detected}/{} collapsed stuck-at faults detected by {patterns} pseudorandom patterns ({:.1}%)",
+                netlist.name(),
+                universe.len(),
+                100.0 * fraction
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        Command::Atpg { circuit } => {
+            let netlist = load(circuit)?;
+            let result = run_atpg(&netlist, &PodemLimits::default(), 1);
+            if json {
+                let mut o = JsonObject::new();
+                o.string("circuit", netlist.name())
+                    .number("patterns", result.patterns.len() as f64)
+                    .number("coverage", result.coverage())
+                    .number("redundant", result.redundant as f64)
+                    .number("aborted", result.aborted as f64)
+                    .number("efficiency", result.efficiency());
+                writeln!(out, "{}", o.finish()).map_err(io_err)?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{}: {} patterns, coverage {:.1}%, {} redundant, {} aborted (efficiency {:.1}%)",
+                netlist.name(),
+                result.patterns.len(),
+                result.coverage() * 100.0,
+                result.redundant,
+                result.aborted,
+                result.efficiency() * 100.0
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        Command::Diagnose {
+            circuit,
+            groups,
+            partitions,
+            patterns,
+            faults,
+            scheme,
+            fault,
+        } => {
+            let netlist = load(circuit)?;
+            if let Some(spec_text) = fault {
+                return diagnose_single_fault(
+                    &netlist, spec_text, *groups, *partitions, *patterns, *scheme, out,
+                );
+            }
+            let mut spec = CampaignSpec::new(*patterns, *groups, *partitions);
+            spec.num_faults = *faults;
+            let campaign =
+                PreparedCampaign::from_circuit(&netlist, &spec).map_err(|e| e.to_string())?;
+            let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
+            if json {
+                let mut o = JsonObject::new();
+                o.string("circuit", netlist.name())
+                    .string("scheme", scheme.name())
+                    .number("faults", report.faults as f64)
+                    .number("dr", report.dr)
+                    .number("dr_pruned", report.dr_pruned)
+                    .number("mean_candidates", report.mean_candidates)
+                    .number("mean_actual", report.mean_actual)
+                    .numbers("dr_by_prefix", &report.dr_by_prefix);
+                writeln!(out, "{}", o.finish()).map_err(io_err)?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{}: {} faults, scheme {}, DR {:.3} (pruned {:.3}), mean candidates {:.1}, mean failing cells {:.1}",
+                netlist.name(),
+                report.faults,
+                scheme.name(),
+                report.dr,
+                report.dr_pruned,
+                report.mean_candidates,
+                report.mean_actual
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        Command::Soc {
+            path,
+            faulty,
+            groups,
+            partitions,
+            scheme,
+        } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let descriptor = SocDescriptor::parse(&text).map_err(|e| e.to_string())?;
+            let soc = descriptor.build().map_err(|e| e.to_string())?;
+            let core = soc
+                .core_index(faulty)
+                .ok_or_else(|| format!("no core named `{faulty}` in {}", soc.name()))?;
+            let mut spec = CampaignSpec::new(128, *groups, *partitions);
+            spec.num_faults = 100;
+            let campaign =
+                PreparedCampaign::from_soc(&soc, core, &spec).map_err(|e| e.to_string())?;
+            let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
+            let localization = campaign
+                .run_localization(*scheme)
+                .map_err(|e| e.to_string())?;
+            if json {
+                let mut o = JsonObject::new();
+                o.string("soc", soc.name())
+                    .string("faulty_core", faulty)
+                    .string("scheme", scheme.name())
+                    .number("faults", report.faults as f64)
+                    .number("dr", report.dr)
+                    .number("dr_pruned", report.dr_pruned)
+                    .number("localization_top1", localization.top1_accuracy);
+                writeln!(out, "{}", o.finish()).map_err(io_err)?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{} (faulty {faulty}): {} faults, scheme {}, DR {:.3} (pruned {:.3}), core localization {:.1}%",
+                soc.name(),
+                report.faults,
+                scheme.name(),
+                report.dr,
+                report.dr_pruned,
+                localization.top1_accuracy * 100.0
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+    }
+}
+
+// Takes the error by value so it slots into `map_err(io_err)` calls.
+#[allow(clippy::needless_pass_by_value)]
+fn io_err(e: std::io::Error) -> String {
+    format!("write failed: {e}")
+}
+
+fn diagnose_single_fault<W: Write>(
+    netlist: &Netlist,
+    spec_text: &str,
+    groups: u16,
+    partitions: usize,
+    patterns: usize,
+    scheme: scan_bist::Scheme,
+    out: &mut W,
+) -> Result<(), String> {
+    let (net_name, sa) = spec_text
+        .rsplit_once('/')
+        .ok_or_else(|| format!("fault `{spec_text}` must look like NET/SA0 or NET/SA1"))?;
+    let stuck = match sa.to_ascii_uppercase().as_str() {
+        "SA0" => false,
+        "SA1" => true,
+        other => return Err(format!("unknown stuck value `{other}` (SA0 or SA1)")),
+    };
+    let net = netlist
+        .find_net(net_name)
+        .ok_or_else(|| format!("no net named `{net_name}` in {}", netlist.name()))?;
+    let fault = scan_sim::Fault::stem(net, stuck);
+
+    let view = ScanView::natural(netlist, true);
+    let pattern_set = lfsr_patterns(netlist, patterns, 0xACE1);
+    let fsim = FaultSimulator::new(netlist, &view, &pattern_set).map_err(|e| e.to_string())?;
+    let errors = fsim.error_map(&fault);
+    if !errors.is_detected() {
+        writeln!(
+            out,
+            "fault {} is not detected by {patterns} pseudorandom patterns",
+            fault.describe(netlist)
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    }
+    let plan = scan_diagnosis::DiagnosisPlan::new(
+        scan_diagnosis::ChainLayout::single_chain(view.len()),
+        patterns,
+        &scan_diagnosis::BistConfig::new(groups, partitions, scheme),
+    )
+    .map_err(|e| e.to_string())?;
+    let actual: Vec<usize> = errors.failing_positions().iter().collect();
+    let report = scan_diagnosis::report::FaultReport::build(
+        fault.describe(netlist),
+        &plan,
+        errors.iter_bits(),
+        &actual,
+    );
+    write!(out, "{report}").map_err(io_err)?;
+    Ok(())
+}
+
+fn describe<W: Write>(netlist: &Netlist, out: &mut W) -> Result<(), String> {
+    writeln!(
+        out,
+        "{}: {} inputs, {} outputs, {} flip-flops, {} gates, depth {}",
+        netlist.name(),
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_dffs(),
+        netlist.num_gates(),
+        netlist.depth()
+    )
+    .map_err(io_err)
+}
+
+/// Resolves a circuit argument: a known benchmark name or a `.bench`
+/// file path.
+fn load(circuit: &str) -> Result<Netlist, String> {
+    if circuit == "s27" || generate::profile(circuit).is_some() {
+        Ok(generate::benchmark(circuit))
+    } else {
+        load_file(circuit)
+    }
+}
+
+fn load_file(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    Netlist::from_bench(name, &text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn run_to_string(args: &[&str]) -> (i32, String) {
+        let invocation =
+            crate::args::parse_invocation(args.iter().copied()).expect("args parse");
+        let mut buffer = Vec::new();
+        let code = run_invocation(&invocation, &mut buffer);
+        (code, String::from_utf8(buffer).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, text) = run_to_string(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn stats_on_benchmark() {
+        let (code, text) = run_to_string(&["stats", "s27"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("3 flip-flops"));
+        assert!(text.contains("cone clustering"));
+    }
+
+    #[test]
+    fn coverage_on_benchmark() {
+        let (code, text) = run_to_string(&["coverage", "s27", "--patterns", "64"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("detected"));
+    }
+
+    #[test]
+    fn atpg_on_benchmark() {
+        let (code, text) = run_to_string(&["atpg", "s27"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("coverage 100.0%"));
+    }
+
+    #[test]
+    fn diagnose_on_benchmark() {
+        let (code, text) = run_to_string(&[
+            "diagnose", "s27", "--groups", "2", "--partitions", "2", "--patterns", "32",
+            "--faults", "5",
+        ]);
+        assert_eq!(code, 0);
+        assert!(text.contains("DR"));
+    }
+
+    #[test]
+    fn single_fault_report_mode() {
+        let (code, text) = run_to_string(&[
+            "diagnose", "s27", "--fault", "G10/SA1", "--groups", "2", "--partitions", "2",
+            "--patterns", "32",
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.contains("fault G10/SA1"));
+        assert!(text.contains("final candidates"));
+    }
+
+    #[test]
+    fn single_fault_bad_spec_is_user_error() {
+        let (code, text) = run_to_string(&["diagnose", "s27", "--fault", "G10"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("NET/SA0"));
+        let (code, _) = run_to_string(&["diagnose", "s27", "--fault", "nope/SA1"]);
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn json_coverage_output() {
+        let (code, text) = run_to_string(&["--json", "coverage", "s27", "--patterns", "64"]);
+        assert_eq!(code, 0);
+        let line = text.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"coverage\":1"));
+        assert!(line.contains("\"circuit\":\"s27\""));
+    }
+
+    #[test]
+    fn json_diagnose_output() {
+        let (code, text) = run_to_string(&[
+            "--json", "diagnose", "s27", "--groups", "2", "--partitions", "2", "--patterns",
+            "32", "--faults", "5",
+        ]);
+        assert_eq!(code, 0);
+        assert!(text.contains("\"dr\":"));
+        assert!(text.contains("\"dr_by_prefix\":["));
+    }
+
+    #[test]
+    fn json_errors_are_json() {
+        let (code, text) = run_to_string(&["--json", "coverage", "/nope.bench"]);
+        assert_eq!(code, 1);
+        assert!(text.trim().starts_with("{\"error\":"));
+    }
+
+    #[test]
+    fn missing_file_is_user_error() {
+        let (code, text) = run_to_string(&["parse", "/nonexistent/file.bench"]);
+        assert_eq!(code, 1);
+        assert!(text.starts_with("error:"));
+    }
+
+    #[test]
+    fn parse_validates_bench_files() {
+        let dir = std::env::temp_dir().join("scanbist-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inv.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let (code, text) = run_to_string(&["parse", path.to_str().unwrap()]);
+        assert_eq!(code, 0);
+        assert!(text.contains("structurally valid"));
+
+        let bad = dir.join("bad.bench");
+        std::fs::write(&bad, "INPUT(a)\ny = NOT(ghost)\n").unwrap();
+        let (code, text) = run_to_string(&["parse", bad.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(text.contains("error:"));
+    }
+}

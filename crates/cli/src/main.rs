@@ -1,0 +1,19 @@
+//! `scanbist` — command-line front end for the scan-BIST diagnosis
+//! workspace. See `scanbist help`.
+
+use scan_bist_cli::{parse_invocation, run_invocation, HELP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let invocation = match parse_invocation(arg_refs.iter().copied()) {
+        Ok(invocation) => invocation,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let code = run_invocation(&invocation, &mut std::io::stdout().lock());
+    std::process::exit(code);
+}

@@ -1,0 +1,156 @@
+//! Per-chain session masking: a selection-hardware variant for
+//! multi-chain TAMs.
+//!
+//! The baseline selection logic gates *shift cycles*, so on a `w`-chain
+//! TAM the `w` cells at the same position of different chains always
+//! share a group — they are indistinguishable at group granularity, and
+//! Table 4's diagnostic resolution has a floor of about `w − 1` extra
+//! suspects per true failing cell. Adding a chain-select compare to the
+//! selection logic (one more comparator against a chain counter) splits
+//! every session per chain: `partitions × groups × chains` sessions,
+//! each compacting one group of one chain. The `ablation_chain_mask`
+//! experiment quantifies the resolution/time trade.
+
+use scan_netlist::BitSet;
+
+use crate::session::DiagnosisPlan;
+
+/// Pass/fail verdicts of chain-masked sessions:
+/// `failed(partition, group, chain)`.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ChainMaskedOutcome {
+    fails: Vec<Vec<Vec<bool>>>,
+}
+
+impl ChainMaskedOutcome {
+    /// Whether the session for (`partition`, `group`, `chain`) failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn failed(&self, partition: usize, group: u16, chain: usize) -> bool {
+        self.fails[partition][usize::from(group)][chain]
+    }
+
+    /// Total sessions represented.
+    #[must_use]
+    pub fn num_sessions(&self) -> usize {
+        self.fails
+            .iter()
+            .map(|p| p.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Runs every chain-masked session over a sparse error map.
+#[must_use]
+pub fn analyze_chain_masked<I>(plan: &DiagnosisPlan, error_bits: I) -> ChainMaskedOutcome
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    let chains = plan.layout().num_chains();
+    let groups = usize::from(
+        plan.partitions()
+            .iter()
+            .map(scan_bist::Partition::num_groups)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut signatures = vec![vec![vec![0u64; chains]; groups]; plan.partitions().len()];
+    for (cell, pattern) in error_bits {
+        let (chain, pos) = plan.layout().coord(cell);
+        let contribution = plan.contribution(cell, pattern);
+        for (p, partition) in plan.partitions().iter().enumerate() {
+            let g = usize::from(partition.group_of(pos as usize));
+            signatures[p][g][chain as usize] ^= contribution;
+        }
+    }
+    let fails = signatures
+        .iter()
+        .map(|p| {
+            p.iter()
+                .map(|g| g.iter().map(|&s| s != 0).collect())
+                .collect()
+        })
+        .collect();
+    ChainMaskedOutcome { fails }
+}
+
+/// Candidate cells under chain masking: a cell survives iff, in every
+/// partition, the session of *its group on its chain* failed.
+#[must_use]
+pub fn diagnose_chain_masked(plan: &DiagnosisPlan, outcome: &ChainMaskedOutcome) -> BitSet {
+    let layout = plan.layout();
+    let mut candidates = BitSet::full(layout.num_cells());
+    for (p, partition) in plan.partitions().iter().enumerate() {
+        let mut keep = BitSet::new(layout.num_cells());
+        for cell in &candidates {
+            let (chain, pos) = layout.coord(cell);
+            let g = partition.group_of(pos as usize);
+            if outcome.failed(p, g, chain as usize) {
+                keep.insert(cell);
+            }
+        }
+        candidates = keep;
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChainLayout;
+    use crate::session::BistConfig;
+    use scan_bist::Scheme;
+
+    fn multi_chain_plan(chains: usize, len: usize) -> DiagnosisPlan {
+        let mut coords = Vec::new();
+        for c in 0..chains {
+            for p in 0..len {
+                coords.push((c as u32, p as u32));
+            }
+        }
+        DiagnosisPlan::new(
+            ChainLayout::from_coords(coords),
+            8,
+            &BistConfig::new(4, 3, Scheme::RandomSelection),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_masking_separates_twin_cells() {
+        let plan = multi_chain_plan(4, 32);
+        // One error on chain 2, position 10.
+        let cell = 2 * 32 + 10;
+        let outcome = analyze_chain_masked(&plan, [(cell, 3usize)]);
+        let candidates = diagnose_chain_masked(&plan, &outcome);
+        assert!(candidates.contains(cell));
+        // The same-position cells on other chains are pruned — unlike
+        // the shift-position-only architecture.
+        for other_chain in [0usize, 1, 3] {
+            assert!(!candidates.contains(other_chain * 32 + 10));
+        }
+    }
+
+    #[test]
+    fn chain_masked_never_worse_than_baseline() {
+        use crate::diagnose::diagnose;
+        let plan = multi_chain_plan(3, 40);
+        let bits = [(5usize, 1usize), (47, 2), (100, 6)];
+        let masked = diagnose_chain_masked(&plan, &analyze_chain_masked(&plan, bits.iter().copied()));
+        let baseline = diagnose(&plan, &plan.analyze(bits.iter().copied()));
+        assert!(masked.is_subset(baseline.candidates()));
+        for &(cell, _) in &bits {
+            assert!(masked.contains(cell));
+        }
+    }
+
+    #[test]
+    fn session_count_scales_with_chains() {
+        let plan = multi_chain_plan(4, 16);
+        let outcome = analyze_chain_masked(&plan, std::iter::empty());
+        assert_eq!(outcome.num_sessions(), 3 * 4 * 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Diagnosis time accounting.
+//!
+//! The paper argues two-step partitioning shortens diagnosis because a
+//! target resolution is reached with fewer partitions (its Fig. 5).
+//! This module converts partition counts into tester clock cycles for a
+//! given scan geometry, so schemes can be compared in the unit that
+//! matters on the floor — and so the `TestRail` (one shared session for
+//! all cores) can be compared against the per-core test-bus alternative
+//! the paper's Section 5 dismisses for its "frequent reloading".
+
+/// Scan/BIST geometry a diagnosis run executes on.
+#[derive(Clone, Copy, Debug)]
+pub struct DiagnosisCostModel {
+    /// Shift cycles per pattern unload (longest chain length).
+    pub chain_len: usize,
+    /// Patterns applied per BIST session.
+    pub num_patterns: usize,
+    /// Groups per partition (sessions per partition).
+    pub groups: u16,
+    /// Cycles to unload one signature to the tester.
+    pub signature_unload: usize,
+}
+
+impl DiagnosisCostModel {
+    /// Capture + shift cycles of one BIST session.
+    ///
+    /// Every pattern costs `chain_len` shift cycles (load of pattern
+    /// `i+1` overlaps the unload of pattern `i`) plus one capture
+    /// cycle; the session ends with one signature unload.
+    #[must_use]
+    pub fn session_cycles(&self) -> usize {
+        self.num_patterns * (self.chain_len + 1) + self.signature_unload
+    }
+
+    /// Cycles to execute a full partition (one session per group).
+    #[must_use]
+    pub fn partition_cycles(&self) -> usize {
+        usize::from(self.groups) * self.session_cycles()
+    }
+
+    /// Cycles to execute `partitions` partitions — the diagnosis time
+    /// the paper's Fig. 5 partition counts translate into.
+    #[must_use]
+    pub fn diagnosis_cycles(&self, partitions: usize) -> usize {
+        partitions * self.partition_cycles()
+    }
+}
+
+/// Cost comparison of the two SOC test-access styles discussed in §5 of
+/// the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct SocAccessCost {
+    /// Diagnosis cycles with the `TestRail`: every core tested in the
+    /// same sessions through the meta scan chain(s).
+    pub testrail_cycles: usize,
+    /// Diagnosis cycles with a per-core test bus: each core diagnosed
+    /// in its own session series, plus a pattern-reload penalty between
+    /// cores.
+    pub test_bus_cycles: usize,
+}
+
+/// Compares `TestRail` vs per-core test-bus diagnosis for an SOC whose
+/// cores contribute `core_chain_lens` positions, using the same session
+/// shape (`num_patterns`, `groups`, `partitions`) for both styles and a
+/// fixed `reload_penalty` in cycles whenever the tester switches cores
+/// on the test bus.
+#[must_use]
+pub fn soc_access_cost(
+    core_chain_lens: &[usize],
+    num_patterns: usize,
+    groups: u16,
+    partitions: usize,
+    signature_unload: usize,
+    reload_penalty: usize,
+) -> SocAccessCost {
+    let meta_len: usize = core_chain_lens.iter().sum();
+    let rail = DiagnosisCostModel {
+        chain_len: meta_len,
+        num_patterns,
+        groups,
+        signature_unload,
+    };
+    let testrail_cycles = rail.diagnosis_cycles(partitions);
+    let test_bus_cycles = core_chain_lens
+        .iter()
+        .map(|&len| {
+            let bus = DiagnosisCostModel {
+                chain_len: len,
+                num_patterns,
+                groups,
+                signature_unload,
+            };
+            bus.diagnosis_cycles(partitions) + reload_penalty
+        })
+        .sum();
+    SocAccessCost {
+        testrail_cycles,
+        test_bus_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DiagnosisCostModel {
+        DiagnosisCostModel {
+            chain_len: 100,
+            num_patterns: 128,
+            groups: 8,
+            signature_unload: 16,
+        }
+    }
+
+    #[test]
+    fn session_cycles_accounting() {
+        let m = model();
+        assert_eq!(m.session_cycles(), 128 * 101 + 16);
+        assert_eq!(m.partition_cycles(), 8 * m.session_cycles());
+        assert_eq!(m.diagnosis_cycles(4), 4 * m.partition_cycles());
+    }
+
+    #[test]
+    fn fewer_partitions_means_less_time() {
+        let m = model();
+        assert!(m.diagnosis_cycles(5) < m.diagnosis_cycles(7));
+        // A scheme saving 2 of 7 partitions saves 2/7 of the time.
+        let saved = m.diagnosis_cycles(7) - m.diagnosis_cycles(5);
+        assert_eq!(saved, 2 * m.partition_cycles());
+    }
+
+    #[test]
+    fn testrail_beats_test_bus_without_reloads_equalized() {
+        // Same total scan volume; the bus pays per-core reloads and the
+        // per-core session overhead (captures + signature unloads per
+        // core), so the rail is cheaper or equal.
+        let cores = [1000usize, 1200, 800];
+        let cost = soc_access_cost(&cores, 128, 8, 4, 16, 50_000);
+        assert!(
+            cost.testrail_cycles < cost.test_bus_cycles,
+            "rail {} vs bus {}",
+            cost.testrail_cycles,
+            cost.test_bus_cycles
+        );
+    }
+
+    #[test]
+    fn zero_reload_still_counts_per_core_overheads() {
+        let cores = [100usize, 100];
+        let cost = soc_access_cost(&cores, 16, 4, 2, 16, 0);
+        // Shift volume matches, but the bus pays capture/unload twice.
+        assert!(cost.test_bus_cycles > cost.testrail_cycles);
+    }
+}

@@ -1,0 +1,145 @@
+//! Candidate computation from session outcomes.
+
+use scan_netlist::BitSet;
+
+use crate::session::{DiagnosisPlan, SessionOutcome};
+
+/// The result of intersecting failing groups across partitions.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct Diagnosis {
+    candidates: BitSet,
+    prefix_counts: Vec<usize>,
+}
+
+impl Diagnosis {
+    /// The candidate failing cells after all partitions: a cell remains
+    /// a candidate iff it lies in a *failing* group of **every**
+    /// partition (the inclusion–exclusion pruning of \[5\]).
+    #[must_use]
+    pub fn candidates(&self) -> &BitSet {
+        &self.candidates
+    }
+
+    /// Number of candidates after all partitions.
+    #[must_use]
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Candidate count after only the first `k` partitions
+    /// (`prefix_counts()[k−1]`); used to measure how quickly a scheme
+    /// converges (the paper's Fig. 5).
+    #[must_use]
+    pub fn prefix_counts(&self) -> &[usize] {
+        &self.prefix_counts
+    }
+
+    /// Removes known-unobservable cells (e.g. X-masked positions) from
+    /// the candidate set. Prefix counts keep reporting the raw
+    /// intersection sizes.
+    #[must_use]
+    pub fn without_cells(mut self, excluded: &scan_netlist::BitSet) -> Self {
+        self.candidates.difference_with(excluded);
+        self
+    }
+}
+
+/// Intersects failing groups across partitions to produce the candidate
+/// set.
+///
+/// Cells in a passing group of any partition are pruned; what remains
+/// after each successive partition is recorded in
+/// [`Diagnosis::prefix_counts`].
+#[must_use]
+pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
+    let layout = plan.layout();
+    let num_cells = layout.num_cells();
+    let mut candidates = BitSet::full(num_cells);
+    let mut prefix_counts = Vec::with_capacity(plan.partitions().len());
+    for (p, partition) in plan.partitions().iter().enumerate() {
+        let mut keep = BitSet::new(num_cells);
+        for cell in &candidates {
+            let (_, pos) = layout.coord(cell);
+            let group = partition.group_of(pos as usize);
+            if outcome.failed(p, group) {
+                keep.insert(cell);
+            }
+        }
+        candidates = keep;
+        prefix_counts.push(candidates.len());
+    }
+    Diagnosis {
+        candidates,
+        prefix_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChainLayout;
+    use crate::session::BistConfig;
+    use scan_bist::Scheme;
+
+    fn plan(chain_len: usize, groups: u16, partitions: usize) -> DiagnosisPlan {
+        DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            8,
+            &BistConfig::new(groups, partitions, Scheme::RandomSelection),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_contain_true_failing_cell() {
+        let plan = plan(100, 4, 6);
+        let outcome = plan.analyze([(42usize, 3usize), (42, 5)]);
+        let diag = diagnose(&plan, &outcome);
+        assert!(diag.candidates().contains(42));
+    }
+
+    #[test]
+    fn prefix_counts_monotonically_shrink() {
+        let plan = plan(200, 8, 6);
+        let outcome = plan.analyze([(13usize, 0usize), (150, 2)]);
+        let diag = diagnose(&plan, &outcome);
+        let counts = diag.prefix_counts();
+        assert_eq!(counts.len(), 6);
+        for w in counts.windows(2) {
+            assert!(w[1] <= w[0], "candidate counts must be non-increasing");
+        }
+        assert_eq!(*counts.last().unwrap(), diag.num_candidates());
+    }
+
+    #[test]
+    fn single_error_narrows_to_one_group_intersection() {
+        let plan = plan(64, 8, 1);
+        let outcome = plan.analyze([(20usize, 1usize)]);
+        let diag = diagnose(&plan, &outcome);
+        // One partition: candidates = the failing group's cells.
+        let group = plan.partitions()[0].group_of(20);
+        let expected: Vec<usize> = plan.partitions()[0].members(group).collect();
+        assert_eq!(diag.candidates().iter().collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn no_errors_no_candidates() {
+        let plan = plan(64, 4, 3);
+        let outcome = plan.analyze(std::iter::empty());
+        let diag = diagnose(&plan, &outcome);
+        assert_eq!(diag.num_candidates(), 0);
+    }
+
+    #[test]
+    fn more_partitions_refine() {
+        let plan1 = plan(300, 4, 1);
+        let plan8 = plan(300, 4, 8);
+        let bits = [(7usize, 0usize), (8, 1), (9, 2)];
+        let d1 = diagnose(&plan1, &plan1.analyze(bits.iter().copied()));
+        let d8 = diagnose(&plan8, &plan8.analyze(bits.iter().copied()));
+        assert!(d8.num_candidates() <= d1.num_candidates());
+        for b in &bits {
+            assert!(d8.candidates().contains(b.0));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the diagnosis engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a diagnosis plan cannot be constructed.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub enum BuildPlanError {
+    /// The chain layout is empty.
+    EmptyLayout,
+    /// The MISR is narrower than the number of parallel chains, so some
+    /// chains have no injection stage.
+    MisrTooNarrow {
+        /// MISR width.
+        misr_degree: u32,
+        /// Parallel chains to compact.
+        chains: usize,
+    },
+    /// Zero partitions or zero groups were requested.
+    DegenerateConfig,
+    /// An unsupported LFSR/MISR degree was requested.
+    UnsupportedDegree {
+        /// The offending degree.
+        degree: u32,
+    },
+}
+
+impl fmt::Display for BuildPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildPlanError::EmptyLayout => write!(f, "chain layout has no cells"),
+            BuildPlanError::MisrTooNarrow {
+                misr_degree,
+                chains,
+            } => write!(
+                f,
+                "MISR of width {misr_degree} cannot compact {chains} parallel chains"
+            ),
+            BuildPlanError::DegenerateConfig => {
+                write!(f, "partitions and groups must both be nonzero")
+            }
+            BuildPlanError::UnsupportedDegree { degree } => {
+                write!(f, "unsupported LFSR/MISR degree {degree}")
+            }
+        }
+    }
+}
+
+impl Error for BuildPlanError {}

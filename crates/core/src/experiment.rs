@@ -1,0 +1,726 @@
+//! Fault-injection campaigns: the experiment driver behind every table
+//! and figure of the paper.
+//!
+//! A campaign (1) generates a pseudo-random BIST pattern set from an
+//! LFSR PRPG, (2) samples a reproducible set of *detected* collapsed
+//! stuck-at faults, (3) fault-simulates each to an error map, and
+//! (4) replays the partition-based diagnosis for a chosen scheme,
+//! accumulating the paper's diagnostic resolution (DR) metric — with
+//! and without post-processing pruning, and per partition-count prefix
+//! (for Fig. 5's "partitions needed to reach DR 0.5").
+//!
+//! Preparation (steps 1–3) is independent of the partitioning scheme,
+//! so a [`PreparedCampaign`] is built once and [`run`](PreparedCampaign::run)
+//! for every scheme being compared — exactly the paper's methodology of
+//! using the same faults and patterns for both methods.
+
+use std::error::Error;
+use std::fmt;
+
+use scan_bist::{Prpg, Scheme};
+use scan_netlist::{BitSet, Netlist, ScanOrdering, ScanView};
+use scan_sim::{ErrorMap, FaultSimulator, PatternSet, PatternShapeError};
+use scan_soc::Soc;
+
+use crate::diagnose::diagnose;
+use crate::error::BuildPlanError;
+use crate::layout::ChainLayout;
+use crate::metrics::DrAccumulator;
+use crate::pruning::prune_by_cover;
+use crate::session::{BistConfig, DiagnosisPlan};
+
+/// Parameters of a fault-injection campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignSpec {
+    /// BIST patterns per session.
+    pub num_patterns: usize,
+    /// PRPG seed for stimulus generation.
+    pub prpg_seed: u64,
+    /// Number of detected faults to sample (the paper uses 500).
+    pub num_faults: usize,
+    /// Seed for the fault sample shuffle.
+    pub fault_seed: u64,
+    /// Groups per partition.
+    pub groups: u16,
+    /// Number of partitions.
+    pub partitions: usize,
+    /// MISR width.
+    pub misr_degree: u32,
+    /// Partition LFSR degree (the paper uses 16).
+    pub partition_lfsr_degree: u32,
+    /// Partition IVR seed.
+    pub partition_seed: u64,
+    /// Observe primary outputs alongside scan cells (the paper does).
+    pub include_outputs: bool,
+    /// How flip-flops are stitched into the scan chain.
+    pub ordering: ScanOrdering,
+    /// Fraction of observation positions that produce unknown (X)
+    /// values and are therefore hard-masked from the compactor — e.g.
+    /// cells fed by uninitialized memories. Their errors are invisible
+    /// and they are excluded from both evidence and candidate
+    /// reporting. `0.0` (the default, and the paper's setting) disables
+    /// masking.
+    pub x_mask_fraction: f64,
+}
+
+impl CampaignSpec {
+    /// A spec with the paper's defaults for the free parameters.
+    #[must_use]
+    pub fn new(num_patterns: usize, groups: u16, partitions: usize) -> Self {
+        CampaignSpec {
+            num_patterns,
+            prpg_seed: 0xACE1,
+            num_faults: 500,
+            fault_seed: 2003,
+            groups,
+            partitions,
+            misr_degree: 16,
+            partition_lfsr_degree: 16,
+            partition_seed: 1,
+            include_outputs: true,
+            ordering: ScanOrdering::Natural,
+            x_mask_fraction: 0.0,
+        }
+    }
+
+    fn bist_config(&self, scheme: Scheme) -> BistConfig {
+        BistConfig {
+            groups: self.groups,
+            partitions: self.partitions,
+            scheme,
+            misr_degree: self.misr_degree,
+            partition_lfsr_degree: self.partition_lfsr_degree,
+            partition_seed: self.partition_seed,
+        }
+    }
+}
+
+/// Errors raised while preparing or running a campaign.
+#[derive(Clone, Debug)]
+pub enum CampaignError {
+    /// Stimulus generation failed (pattern/interface mismatch).
+    Patterns(PatternShapeError),
+    /// The diagnosis plan could not be built.
+    Plan(BuildPlanError),
+    /// The requested faulty core index does not exist.
+    NoSuchCore {
+        /// The offending index.
+        core: usize,
+        /// Cores available.
+        available: usize,
+    },
+    /// No detected faults were found (empty or untestable circuit).
+    NoDetectedFaults,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Patterns(e) => write!(f, "{e}"),
+            CampaignError::Plan(e) => write!(f, "{e}"),
+            CampaignError::NoSuchCore { core, available } => {
+                write!(f, "faulty core index {core} out of range ({available} cores)")
+            }
+            CampaignError::NoDetectedFaults => write!(f, "no detected faults to diagnose"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Patterns(e) => Some(e),
+            CampaignError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PatternShapeError> for CampaignError {
+    fn from(e: PatternShapeError) -> Self {
+        CampaignError::Patterns(e)
+    }
+}
+
+impl From<BuildPlanError> for CampaignError {
+    fn from(e: BuildPlanError) -> Self {
+        CampaignError::Plan(e)
+    }
+}
+
+/// Aggregate results of running one scheme over a prepared campaign.
+#[derive(Clone, Debug)]
+pub struct SchemeReport {
+    /// The scheme that was run.
+    pub scheme: Scheme,
+    /// Partitions used.
+    pub partitions: usize,
+    /// Faults diagnosed.
+    pub faults: usize,
+    /// Diagnostic resolution after all partitions, without pruning.
+    pub dr: f64,
+    /// Diagnostic resolution with cover-based pruning.
+    pub dr_pruned: f64,
+    /// DR after only the first `k+1` partitions (no pruning).
+    pub dr_by_prefix: Vec<f64>,
+    /// Mean candidates per fault (no pruning).
+    pub mean_candidates: f64,
+    /// Mean actual failing cells per fault.
+    pub mean_actual: f64,
+    /// True failing cells missing from the final candidate set, summed
+    /// over faults — nonzero only under signature aliasing (a failing
+    /// group whose error signature cancels to zero).
+    pub lost_cells: u64,
+}
+
+impl SchemeReport {
+    /// The smallest number of partitions whose prefix DR is at or below
+    /// `target`, if any (the paper's Fig. 5 quantity).
+    #[must_use]
+    pub fn partitions_to_reach(&self, target: f64) -> Option<usize> {
+        self.dr_by_prefix
+            .iter()
+            .position(|&dr| dr <= target)
+            .map(|k| k + 1)
+    }
+}
+
+/// One fault's prepared evidence: its error map in local view
+/// coordinates.
+#[derive(Clone, Debug)]
+struct FaultCase {
+    errors: ErrorMap,
+}
+
+/// A campaign with stimuli applied and faults simulated, ready to be
+/// diagnosed under any partitioning scheme.
+#[derive(Clone, Debug)]
+pub struct PreparedCampaign {
+    layout: ChainLayout,
+    spec: CampaignSpec,
+    cases: Vec<FaultCase>,
+    /// Maps a local error-map position to the global cell id diagnosed
+    /// by the plan (identity for single circuits).
+    local_to_global: Vec<usize>,
+    /// For SOC campaigns: the owning core of every global cell, and the
+    /// index of the core the faults were injected into.
+    soc_context: Option<SocContext>,
+}
+
+#[derive(Clone, Debug)]
+struct SocContext {
+    core_of_cell: Vec<u32>,
+    core_sizes: Vec<usize>,
+    faulty_core: usize,
+}
+
+impl PreparedCampaign {
+    /// Prepares a campaign over a single full-scan circuit with one
+    /// scan chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if stimulus generation fails or no
+    /// fault is detected by the pattern set.
+    pub fn from_circuit(netlist: &Netlist, spec: &CampaignSpec) -> Result<Self, CampaignError> {
+        Self::from_circuit_multiplets(netlist, spec, 1)
+    }
+
+    /// Prepares a campaign injecting `multiplet_size` *simultaneous*
+    /// faults per case — the paper's multiple-fault scenario, where
+    /// overlapping cones merge into one expanded failing segment and
+    /// disjoint cones produce separate segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if stimulus generation fails or no
+    /// fault multiplet is detected by the pattern set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplet_size` is zero.
+    pub fn from_circuit_multiplets(
+        netlist: &Netlist,
+        spec: &CampaignSpec,
+        multiplet_size: usize,
+    ) -> Result<Self, CampaignError> {
+        assert!(multiplet_size >= 1, "multiplet size must be at least 1");
+        let view = ScanView::ordered(netlist, spec.ordering, spec.include_outputs);
+        let patterns = lfsr_patterns(netlist, spec.num_patterns, spec.prpg_seed);
+        let fsim = FaultSimulator::new(netlist, &view, &patterns)?;
+        let cases: Vec<FaultCase> = if multiplet_size == 1 {
+            fsim.sample_detected_faults(spec.num_faults, spec.fault_seed)
+                .iter()
+                .map(|f| FaultCase {
+                    errors: fsim.error_map(f),
+                })
+                .collect()
+        } else {
+            fsim.sample_detected_multiplets(spec.num_faults, multiplet_size, spec.fault_seed)
+                .iter()
+                .map(|fs| FaultCase {
+                    errors: fsim.error_map_multi(fs),
+                })
+                .collect()
+        };
+        if cases.is_empty() {
+            return Err(CampaignError::NoDetectedFaults);
+        }
+        let layout = ChainLayout::single_chain(view.len());
+        let local_to_global = (0..view.len()).collect();
+        Ok(PreparedCampaign {
+            layout,
+            spec: *spec,
+            cases,
+            local_to_global,
+            soc_context: None,
+        })
+    }
+
+    /// Prepares a campaign over an SOC with a single faulty core: the
+    /// paper's SOC scenario, where spot defects confine failing cells
+    /// to one core's segment of the meta scan chains.
+    ///
+    /// Faults are injected into `faulty_core`; the other cores respond
+    /// fault-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError`] if the core index is invalid, stimulus
+    /// generation fails, or no fault is detected.
+    pub fn from_soc(
+        soc: &Soc,
+        faulty_core: usize,
+        spec: &CampaignSpec,
+    ) -> Result<Self, CampaignError> {
+        let Some(core) = soc.cores().get(faulty_core) else {
+            return Err(CampaignError::NoSuchCore {
+                core: faulty_core,
+                available: soc.cores().len(),
+            });
+        };
+        // Each core consumes its own slice of the PRPG stream; model it
+        // as a per-core decorrelated seed.
+        let core_seed = spec
+            .prpg_seed
+            .wrapping_add((faulty_core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let patterns = lfsr_patterns(core.netlist(), spec.num_patterns, core_seed);
+        let fsim = FaultSimulator::new(core.netlist(), core.view(), &patterns)?;
+        let faults = fsim.sample_detected_faults(spec.num_faults, spec.fault_seed);
+        if faults.is_empty() {
+            return Err(CampaignError::NoDetectedFaults);
+        }
+        let cases = faults
+            .iter()
+            .map(|f| FaultCase {
+                errors: fsim.error_map(f),
+            })
+            .collect();
+        // Map this core's local positions to SOC-global cell ids.
+        let mut local_to_global = vec![usize::MAX; core.view().len()];
+        for (global, (cell, _, _)) in soc.layout().into_iter().enumerate() {
+            if cell.core as usize == faulty_core {
+                local_to_global[cell.local as usize] = global;
+            }
+        }
+        debug_assert!(local_to_global.iter().all(|&g| g != usize::MAX));
+        let core_of_cell: Vec<u32> = soc
+            .layout()
+            .into_iter()
+            .map(|(cell, _, _)| cell.core)
+            .collect();
+        let core_sizes: Vec<usize> = soc.cores().iter().map(scan_soc::CoreModule::num_positions).collect();
+        Ok(PreparedCampaign {
+            layout: ChainLayout::from_soc(soc),
+            spec: *spec,
+            cases,
+            local_to_global,
+            soc_context: Some(SocContext {
+                core_of_cell,
+                core_sizes,
+                faulty_core,
+            }),
+        })
+    }
+
+    /// The X-masked global cells implied by
+    /// [`CampaignSpec::x_mask_fraction`]: a reproducible sample drawn
+    /// from the fault seed.
+    #[must_use]
+    pub fn masked_cells(&self) -> BitSet {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = self.layout.num_cells();
+        let mut set = BitSet::new(n);
+        if self.spec.x_mask_fraction <= 0.0 {
+            return set;
+        }
+        #[allow(clippy::cast_sign_loss)] // fraction is validated ≥ 0 above
+        let count = ((n as f64 * self.spec.x_mask_fraction).round() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.spec.fault_seed ^ 0x584D_4153); // "XMAS"k
+        order.shuffle(&mut rng);
+        for &cell in order.iter().take(count) {
+            set.insert(cell);
+        }
+        set
+    }
+
+    /// Number of prepared fault cases.
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// The chain layout under diagnosis.
+    #[must_use]
+    pub fn layout(&self) -> &ChainLayout {
+        &self.layout
+    }
+
+    /// The campaign spec.
+    #[must_use]
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Runs the diagnosis for one scheme over every prepared fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn run(&self, scheme: Scheme) -> Result<SchemeReport, CampaignError> {
+        let config = self.spec.bist_config(scheme);
+        let plan = DiagnosisPlan::new(self.layout.clone(), self.spec.num_patterns, &config)?;
+        let masked = self.masked_cells();
+        let mut final_acc = DrAccumulator::new();
+        let mut pruned_acc = DrAccumulator::new();
+        let mut prefix_accs = vec![DrAccumulator::new(); self.spec.partitions];
+        let mut lost_cells = 0u64;
+        for case in &self.cases {
+            let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
+            let failing: Vec<usize> = case
+                .errors
+                .failing_positions()
+                .iter()
+                .filter(observable)
+                .collect();
+            let actual = failing.len();
+            let outcome = plan.analyze(
+                case.errors
+                    .iter_bits()
+                    .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                    .filter(|(cell, _)| !masked.contains(*cell)),
+            );
+            let mut diag = diagnose(&plan, &outcome);
+            if !masked.is_empty() {
+                diag = diag.without_cells(&masked);
+            }
+            lost_cells += failing
+                .iter()
+                .filter(|&&pos| !diag.candidates().contains(self.local_to_global[pos]))
+                .count() as u64;
+            final_acc.add(diag.num_candidates(), actual);
+            for (k, &count) in diag.prefix_counts().iter().enumerate() {
+                prefix_accs[k].add(count, actual);
+            }
+            let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+            pruned_acc.add(pruned.len(), actual);
+        }
+        Ok(SchemeReport {
+            scheme,
+            partitions: self.spec.partitions,
+            faults: self.cases.len(),
+            dr: final_acc.dr(),
+            dr_pruned: pruned_acc.dr(),
+            dr_by_prefix: prefix_accs.iter().map(DrAccumulator::dr).collect(),
+            mean_candidates: final_acc.mean_candidates(),
+            mean_actual: final_acc.mean_actual(),
+            lost_cells,
+        })
+    }
+
+    /// First-level SOC diagnosis: which embedded core is faulty?
+    ///
+    /// For each fault, the candidate cells are attributed to cores and
+    /// the core with the highest *candidate density* (candidates per
+    /// observation position) is reported as the suspect — the paper's
+    /// motivating use case, where a spot defect must be traced to one
+    /// core before detailed failure analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the plan cannot be built, or
+    /// [`CampaignError::NoSuchCore`] if this campaign was not prepared
+    /// from an SOC.
+    pub fn run_localization(&self, scheme: Scheme) -> Result<LocalizationReport, CampaignError> {
+        let Some(ctx) = &self.soc_context else {
+            return Err(CampaignError::NoSuchCore {
+                core: usize::MAX,
+                available: 0,
+            });
+        };
+        let config = self.spec.bist_config(scheme);
+        let plan = DiagnosisPlan::new(self.layout.clone(), self.spec.num_patterns, &config)?;
+        let mut correct = 0usize;
+        let mut margins = 0.0f64;
+        let mut ranked = 0usize;
+        for case in &self.cases {
+            let outcome = plan.analyze(
+                case.errors
+                    .iter_bits()
+                    .map(|(pos, pat)| (self.local_to_global[pos], pat)),
+            );
+            let diag = diagnose(&plan, &outcome);
+            let mut density = vec![0usize; ctx.core_sizes.len()];
+            for cell in diag.candidates() {
+                density[ctx.core_of_cell[cell] as usize] += 1;
+            }
+            let scores: Vec<f64> = density
+                .iter()
+                .zip(&ctx.core_sizes)
+                .map(|(&d, &s)| d as f64 / s.max(1) as f64)
+                .collect();
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+            if scores[order[0]] > 0.0 {
+                ranked += 1;
+                if order[0] == ctx.faulty_core {
+                    correct += 1;
+                }
+                let runner_up = order.get(1).map_or(0.0, |&i| scores[i]);
+                margins += scores[order[0]] - runner_up;
+            }
+        }
+        Ok(LocalizationReport {
+            scheme,
+            faults: self.cases.len(),
+            top1_accuracy: correct as f64 / self.cases.len().max(1) as f64,
+            mean_margin: if ranked == 0 {
+                0.0
+            } else {
+                margins / ranked as f64
+            },
+        })
+    }
+}
+
+/// First-level SOC diagnosis results: how reliably the faulty core is
+/// identified from candidate-cell densities.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalizationReport {
+    /// The scheme that was run.
+    pub scheme: Scheme,
+    /// Faults diagnosed.
+    pub faults: usize,
+    /// Fraction of faults whose highest-density core is the truly
+    /// faulty one.
+    pub top1_accuracy: f64,
+    /// Mean density margin between the top core and the runner-up
+    /// (confidence of the call).
+    pub mean_margin: f64,
+}
+
+/// Builds the BIST pattern set of a circuit from the workspace's LFSR
+/// PRPG, in scan-application bit order.
+///
+/// # Panics
+///
+/// Never panics in practice (the built-in PRPG degree is always
+/// supported).
+#[must_use]
+pub fn lfsr_patterns(netlist: &Netlist, num_patterns: usize, seed: u64) -> PatternSet {
+    let mut prpg = Prpg::new(seed).expect("PRPG degree is supported");
+    PatternSet::from_bit_stream(
+        netlist.num_inputs(),
+        netlist.num_dffs(),
+        num_patterns,
+        || prpg.next_bit(),
+    )
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // reproducibility checks compare exact values
+mod tests {
+    use super::*;
+    use scan_netlist::bench;
+    use scan_netlist::generate;
+
+    fn spec_small() -> CampaignSpec {
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 40;
+        spec
+    }
+
+    #[test]
+    fn circuit_campaign_runs_all_schemes() {
+        let n = generate::benchmark("s953");
+        let campaign = PreparedCampaign::from_circuit(&n, &spec_small()).unwrap();
+        assert!(campaign.num_faults() > 0);
+        for scheme in [
+            Scheme::RandomSelection,
+            Scheme::IntervalBased,
+            Scheme::TWO_STEP_DEFAULT,
+            Scheme::FixedInterval,
+        ] {
+            let report = campaign.run(scheme).unwrap();
+            assert_eq!(report.faults, campaign.num_faults());
+            assert!(report.dr >= -1.0, "{scheme:?} dr = {}", report.dr);
+            assert!(
+                report.dr_pruned <= report.dr + 1e-9,
+                "pruning must not worsen DR"
+            );
+            assert_eq!(report.dr_by_prefix.len(), 4);
+            // Prefix DR is non-increasing in the partition count.
+            for w in report.dr_by_prefix.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9);
+            }
+            assert!((report.dr_by_prefix[3] - report.dr).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn s27_campaign_is_tiny_but_sound() {
+        let n = bench::s27();
+        let mut spec = CampaignSpec::new(32, 2, 2);
+        spec.num_faults = 10;
+        let campaign = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let report = campaign.run(Scheme::RandomSelection).unwrap();
+        assert!(report.faults > 0);
+        assert!(report.mean_actual > 0.0);
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let n = generate::benchmark("s386");
+        let spec = spec_small();
+        let a = PreparedCampaign::from_circuit(&n, &spec)
+            .unwrap()
+            .run(Scheme::TWO_STEP_DEFAULT)
+            .unwrap();
+        let b = PreparedCampaign::from_circuit(&n, &spec)
+            .unwrap()
+            .run(Scheme::TWO_STEP_DEFAULT)
+            .unwrap();
+        assert_eq!(a.dr, b.dr);
+        assert_eq!(a.dr_pruned, b.dr_pruned);
+    }
+
+    #[test]
+    fn partitions_to_reach_finds_threshold() {
+        let report = SchemeReport {
+            scheme: Scheme::RandomSelection,
+            partitions: 4,
+            faults: 1,
+            dr: 0.2,
+            dr_pruned: 0.2,
+            dr_by_prefix: vec![3.0, 1.0, 0.4, 0.2],
+            mean_candidates: 0.0,
+            mean_actual: 0.0,
+            lost_cells: 0,
+        };
+        assert_eq!(report.partitions_to_reach(0.5), Some(3));
+        assert_eq!(report.partitions_to_reach(0.1), None);
+    }
+
+    #[test]
+    fn x_masking_degrades_but_stays_sound() {
+        let n = generate::benchmark("s953");
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 40;
+        let clean = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        spec.x_mask_fraction = 0.15;
+        let masked_campaign = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let masked_cells = masked_campaign.masked_cells();
+        assert!(!masked_cells.is_empty());
+        let clean_report = clean.run(Scheme::TWO_STEP_DEFAULT).unwrap();
+        let masked_report = masked_campaign.run(Scheme::TWO_STEP_DEFAULT).unwrap();
+        assert!(masked_report.faults > 0);
+        // Masked cells never appear among candidates (checked via the
+        // mean: removing cells can only shrink candidate counts).
+        assert!(masked_report.mean_candidates <= clean_report.mean_candidates + 1e-9);
+    }
+
+    #[test]
+    fn multiplet_campaign_runs() {
+        let n = generate::benchmark("s953");
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 20;
+        let campaign = PreparedCampaign::from_circuit_multiplets(&n, &spec, 2).unwrap();
+        assert!(campaign.num_faults() > 0);
+        let report = campaign.run(Scheme::TWO_STEP_DEFAULT).unwrap();
+        // Two simultaneous faults fail at least as many cells on
+        // average as the single-fault campaign would.
+        assert!(report.mean_actual > 0.0);
+        assert!(report.dr >= -1.0);
+    }
+
+    #[test]
+    fn ordering_changes_results_but_stays_sound() {
+        let n = generate::benchmark("s953");
+        let mut spec = CampaignSpec::new(64, 4, 2);
+        spec.num_faults = 40;
+        let natural = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        spec.ordering = ScanOrdering::Shuffled(7);
+        let shuffled = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let rn = natural.run(Scheme::IntervalBased).unwrap();
+        let rs = shuffled.run(Scheme::IntervalBased).unwrap();
+        // Both run to completion; the shuffled chain loses clustering so
+        // interval-based resolution typically degrades.
+        assert!(rn.faults > 0 && rs.faults > 0);
+        assert!(rn.dr <= rs.dr * 1.5 + 1.0, "sanity bound");
+    }
+
+    #[test]
+    fn invalid_core_is_an_error() {
+        let cores = vec![scan_soc::CoreModule::new(bench::s27())];
+        let soc = Soc::single_chain("one", cores).unwrap();
+        let err = PreparedCampaign::from_soc(&soc, 3, &spec_small());
+        assert!(matches!(err, Err(CampaignError::NoSuchCore { .. })));
+    }
+
+    #[test]
+    fn localization_identifies_the_faulty_core() {
+        let cores = vec![
+            scan_soc::CoreModule::new(generate::benchmark("s298")),
+            scan_soc::CoreModule::new(generate::benchmark("s344")),
+            scan_soc::CoreModule::new(generate::benchmark("s386")),
+        ];
+        let soc = Soc::single_chain("trio", cores).unwrap();
+        let mut spec = CampaignSpec::new(64, 8, 6);
+        spec.num_faults = 30;
+        let campaign = PreparedCampaign::from_soc(&soc, 1, &spec).unwrap();
+        let report = campaign.run_localization(Scheme::TWO_STEP_DEFAULT).unwrap();
+        assert!(
+            report.top1_accuracy > 0.7,
+            "accuracy {} too low",
+            report.top1_accuracy
+        );
+        assert!(report.mean_margin >= 0.0);
+    }
+
+    #[test]
+    fn localization_requires_soc_campaign() {
+        let n = generate::benchmark("s386");
+        let campaign = PreparedCampaign::from_circuit(&n, &spec_small()).unwrap();
+        assert!(campaign.run_localization(Scheme::RandomSelection).is_err());
+    }
+
+    #[test]
+    fn soc_campaign_diagnoses_within_faulty_core() {
+        let cores = vec![
+            scan_soc::CoreModule::new(generate::benchmark("s298")),
+            scan_soc::CoreModule::new(generate::benchmark("s344")),
+            scan_soc::CoreModule::new(generate::benchmark("s386")),
+        ];
+        let soc = Soc::single_chain("trio", cores).unwrap();
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 25;
+        let campaign = PreparedCampaign::from_soc(&soc, 1, &spec).unwrap();
+        let report = campaign.run(Scheme::TWO_STEP_DEFAULT).unwrap();
+        assert!(report.faults > 0);
+        assert!(report.dr >= -1.0);
+    }
+}

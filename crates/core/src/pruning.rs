@@ -1,0 +1,150 @@
+//! Post-processing pruning of the candidate set.
+//!
+//! The paper refines the intersection-based candidate set with the
+//! superposition technique of Bayraktaroglu & Orailoglu \[7\]. This
+//! module implements a *cover-based* refinement with the same role (see
+//! `DESIGN.md` §3/§5): every failing session must be *explained* by at
+//! least one error-capturing cell it compacts, so
+//!
+//! 1. a failing group whose only remaining candidate is `c` *confirms*
+//!    `c` (it must be failing);
+//! 2. a candidate is pruned when every failing group containing it is
+//!    already explained by a confirmed cell;
+//! 3. pruning can create new single-candidate groups, so the two rules
+//!    iterate to a fixpoint.
+//!
+//! The refinement is conservative for isolated errors and, like \[7\],
+//! heuristic in general: it never removes the last possible explanation
+//! of any failing session.
+
+use scan_netlist::BitSet;
+
+use crate::session::{DiagnosisPlan, SessionOutcome};
+
+/// Prunes a candidate set using failing-group cover analysis.
+///
+/// `candidates` is the intersection-based candidate set from
+/// [`diagnose`](crate::diagnose::diagnose); the result is a subset that
+/// still explains every failing session.
+#[must_use]
+pub fn prune_by_cover(
+    plan: &DiagnosisPlan,
+    outcome: &SessionOutcome,
+    candidates: &BitSet,
+) -> BitSet {
+    let layout = plan.layout();
+    // Collect failing groups as lists of candidate member cells.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (p, partition) in plan.partitions().iter().enumerate() {
+        let failing: Vec<bool> = (0..partition.num_groups())
+            .map(|g| outcome.failed(p, g))
+            .collect();
+        let mut members: Vec<Vec<usize>> =
+            vec![Vec::new(); usize::from(partition.num_groups())];
+        for cell in candidates {
+            let (_, pos) = layout.coord(cell);
+            let g = usize::from(partition.group_of(pos as usize));
+            if failing[g] {
+                members[g].push(cell);
+            }
+        }
+        for (g, cells) in members.into_iter().enumerate() {
+            if failing[g] {
+                groups.push(cells);
+            }
+        }
+    }
+
+    let mut current = candidates.clone();
+    loop {
+        // Rule 1: single-candidate groups confirm their cell.
+        let mut confirmed = BitSet::new(current.capacity());
+        for group in &groups {
+            let members: Vec<usize> = group.iter().copied().filter(|&c| current.contains(c)).collect();
+            if members.len() == 1 {
+                confirmed.insert(members[0]);
+            }
+        }
+        // Rule 2: keep confirmed cells plus every member of a group not
+        // yet explained by a confirmed cell.
+        let mut next = confirmed.clone();
+        for group in &groups {
+            let explained = group.iter().any(|&c| confirmed.contains(c));
+            if !explained {
+                for &c in group {
+                    if current.contains(c) {
+                        next.insert(c);
+                    }
+                }
+            }
+        }
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnose::diagnose;
+    use crate::layout::ChainLayout;
+    use crate::session::BistConfig;
+    use scan_bist::Scheme;
+
+    fn plan(chain_len: usize, groups: u16, partitions: usize, scheme: Scheme) -> DiagnosisPlan {
+        DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            16,
+            &BistConfig::new(groups, partitions, scheme),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pruning_never_grows_the_set() {
+        let plan = plan(128, 4, 4, Scheme::RandomSelection);
+        let bits = [(10usize, 0usize), (11, 1), (90, 3)];
+        let outcome = plan.analyze(bits.iter().copied());
+        let diag = diagnose(&plan, &outcome);
+        let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+        assert!(pruned.is_subset(diag.candidates()));
+    }
+
+    #[test]
+    fn pruning_keeps_every_session_explained() {
+        let plan = plan(200, 8, 6, Scheme::TWO_STEP_DEFAULT);
+        let bits = [(20usize, 2usize), (21, 2), (22, 4), (160, 1)];
+        let outcome = plan.analyze(bits.iter().copied());
+        let diag = diagnose(&plan, &outcome);
+        let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+        // Every failing group retains at least one pruned candidate —
+        // unless the failing group had no candidates at all (aliasing),
+        // which cannot happen for these explicit error bits.
+        for (p, partition) in plan.partitions().iter().enumerate() {
+            for g in outcome.failing_groups(p) {
+                let has = partition.members(g).any(|pos| pruned.contains(pos));
+                assert!(has, "partition {p} group {g} lost all explanations");
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_single_error_is_confirmed_not_pruned() {
+        let plan = plan(100, 4, 6, Scheme::RandomSelection);
+        let outcome = plan.analyze([(55usize, 3usize)]);
+        let diag = diagnose(&plan, &outcome);
+        let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+        assert!(pruned.contains(55), "true failing cell must survive");
+    }
+
+    #[test]
+    fn pruning_handles_empty_candidates() {
+        let plan = plan(64, 4, 2, Scheme::RandomSelection);
+        let outcome = plan.analyze(std::iter::empty());
+        let diag = diagnose(&plan, &outcome);
+        let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+        assert!(pruned.is_empty());
+    }
+}

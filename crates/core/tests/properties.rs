@@ -1,0 +1,161 @@
+//! Property-based tests for the diagnosis engine's invariants.
+
+use proptest::prelude::*;
+
+use scan_bist::Scheme;
+use scan_diagnosis::{diagnose, prune_by_cover, BistConfig, ChainLayout, DiagnosisPlan};
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::RandomSelection),
+        Just(Scheme::IntervalBased),
+        Just(Scheme::TWO_STEP_DEFAULT),
+        Just(Scheme::FixedInterval),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness without aliasing: when each partition-group containing
+    /// an error actually fails (guaranteed unless contributions cancel),
+    /// every error-capturing cell stays in the candidate set. With a
+    /// 16-bit MISR and few error bits, cancellation requires identical
+    /// duplicate bits, which the strategy excludes via a set.
+    #[test]
+    fn candidates_contain_error_cells(
+        chain_len in 16usize..300,
+        groups in 2u16..=8,
+        partitions in 1usize..6,
+        scheme in any_scheme(),
+        bits in prop::collection::btree_set((0usize..300, 0usize..32), 1..12),
+    ) {
+        let bits: Vec<(usize, usize)> = bits
+            .into_iter()
+            .map(|(c, t)| (c % chain_len, t))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let plan = DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            32,
+            &BistConfig::new(groups, partitions, scheme),
+        ).unwrap();
+        let outcome = plan.analyze(bits.iter().copied());
+        let diag = diagnose(&plan, &outcome);
+        // Identify cells whose every group fails (i.e. not aliased).
+        for &(cell, _) in &bits {
+            let aliased = (0..partitions).any(|p| {
+                let g = plan.partitions()[p].group_of(cell);
+                !outcome.failed(p, g)
+            });
+            if !aliased {
+                prop_assert!(diag.candidates().contains(cell), "cell {cell} lost");
+            }
+        }
+    }
+
+    /// Pruning returns a subset that still explains every failing
+    /// session.
+    #[test]
+    fn pruning_subset_and_explaining(
+        chain_len in 16usize..200,
+        groups in 2u16..=8,
+        partitions in 1usize..6,
+        scheme in any_scheme(),
+        bits in prop::collection::btree_set((0usize..200, 0usize..16), 1..10),
+    ) {
+        let bits: Vec<(usize, usize)> = bits
+            .into_iter()
+            .map(|(c, t)| (c % chain_len, t))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let plan = DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            16,
+            &BistConfig::new(groups, partitions, scheme),
+        ).unwrap();
+        let outcome = plan.analyze(bits.iter().copied());
+        let diag = diagnose(&plan, &outcome);
+        let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+        prop_assert!(pruned.is_subset(diag.candidates()));
+        for (p, partition) in plan.partitions().iter().enumerate() {
+            for g in outcome.failing_groups(p) {
+                // If the intersection left any candidate in this group,
+                // pruning must keep at least one.
+                let had = partition.members(g).any(|pos| diag.candidates().contains(pos));
+                if had {
+                    prop_assert!(
+                        partition.members(g).any(|pos| pruned.contains(pos)),
+                        "partition {p} group {g} lost all explanations"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Prefix candidate counts are non-increasing in the number of
+    /// partitions for every scheme.
+    #[test]
+    fn prefix_counts_monotone(
+        chain_len in 16usize..200,
+        groups in 2u16..=8,
+        scheme in any_scheme(),
+        bits in prop::collection::btree_set((0usize..200, 0usize..16), 1..10),
+    ) {
+        let bits: Vec<(usize, usize)> = bits
+            .into_iter()
+            .map(|(c, t)| (c % chain_len, t))
+            .collect();
+        let plan = DiagnosisPlan::new(
+            ChainLayout::single_chain(chain_len),
+            16,
+            &BistConfig::new(groups, 6, scheme),
+        ).unwrap();
+        let outcome = plan.analyze(bits.iter().copied());
+        let diag = diagnose(&plan, &outcome);
+        for w in diag.prefix_counts().windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+    }
+
+    /// Multi-chain layouts: a cell's group assignment depends only on
+    /// its shift position, so same-position cells of different chains
+    /// are candidates or pruned together.
+    #[test]
+    fn same_position_cells_share_fate(
+        chains in 2usize..=6,
+        chain_len in 8usize..64,
+        groups in 2u16..=4,
+        bit_cell in 0usize..64,
+        bit_pat in 0usize..8,
+    ) {
+        let mut coords = Vec::new();
+        for c in 0..chains {
+            for p in 0..chain_len {
+                coords.push((c as u32, p as u32));
+            }
+        }
+        let layout = ChainLayout::from_coords(coords);
+        let num_cells = layout.num_cells();
+        let plan = DiagnosisPlan::new(
+            layout,
+            8,
+            &BistConfig::new(groups, 3, Scheme::RandomSelection),
+        ).unwrap();
+        let cell = bit_cell % num_cells;
+        let outcome = plan.analyze([(cell, bit_pat)]);
+        let diag = diagnose(&plan, &outcome);
+        // The twin cell on another chain at the same shift position.
+        let pos = cell % chain_len;
+        let other_chain = (cell / chain_len + 1) % chains;
+        let twin = other_chain * chain_len + pos;
+        prop_assert_eq!(
+            diag.candidates().contains(cell),
+            diag.candidates().contains(twin),
+            "cells at shift position {} disagree",
+            pos
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! ISCAS-89 `.bench` format parsing and writing.
+//!
+//! The `.bench` format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G8 = AND(G14, G6)
+//! ```
+//!
+//! Gate keywords are case-insensitive; `BUFF`/`BUF` and `NOT`/`INV` are
+//! accepted as synonyms.
+
+use crate::error::{ParseBenchError, ParseBenchErrorKind};
+use crate::gate::GateKind;
+use crate::{Netlist, NetlistBuilder};
+
+impl Netlist {
+    /// Parses a netlist from ISCAS-89 `.bench` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBenchError`] if a line is malformed, a gate keyword
+    /// is unknown, a gate has an invalid arity, or the resulting netlist
+    /// is structurally invalid (multiply-driven or undriven nets,
+    /// combinational cycles).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scan_netlist::Netlist;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let n = Netlist::from_bench("inverter", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+    /// assert_eq!(n.num_gates(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_bench(name: impl Into<String>, text: &str) -> Result<Netlist, ParseBenchError> {
+        let mut b = NetlistBuilder::new(name);
+        let mut last_line = 0;
+        for (lineno, raw) in text.lines().enumerate() {
+            let lineno = lineno + 1;
+            last_line = lineno;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            parse_line(&mut b, line).map_err(|kind| ParseBenchError { line: lineno, kind })?;
+        }
+        b.finish().map_err(|e| ParseBenchError {
+            line: last_line,
+            kind: ParseBenchErrorKind::Structure(e),
+        })
+    }
+
+    /// Renders the netlist back to `.bench` text.
+    ///
+    /// The output parses back to an equivalent netlist (same inputs,
+    /// outputs, flip-flops and gates, possibly in a different storage
+    /// order).
+    #[must_use]
+    pub fn to_bench_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.name());
+        for &i in self.inputs() {
+            let _ = writeln!(out, "INPUT({})", self.net_name(i));
+        }
+        for &o in self.outputs() {
+            let _ = writeln!(out, "OUTPUT({})", self.net_name(o));
+        }
+        for dff in self.dffs() {
+            let _ = writeln!(
+                out,
+                "{} = DFF({})",
+                self.net_name(dff.q),
+                self.net_name(dff.d)
+            );
+        }
+        for gate in self.gates() {
+            let args: Vec<&str> = gate.inputs.iter().map(|&n| self.net_name(n)).collect();
+            let _ = writeln!(
+                out,
+                "{} = {}({})",
+                self.net_name(gate.output),
+                gate.kind,
+                args.join(", ")
+            );
+        }
+        out
+    }
+}
+
+fn parse_line(b: &mut NetlistBuilder, line: &str) -> Result<(), ParseBenchErrorKind> {
+    if let Some(rest) = strip_call(line, "INPUT") {
+        b.input(rest);
+        return Ok(());
+    }
+    if let Some(rest) = strip_call(line, "OUTPUT") {
+        b.output(rest);
+        return Ok(());
+    }
+    let (lhs, rhs) = line
+        .split_once('=')
+        .ok_or_else(|| ParseBenchErrorKind::MalformedLine(line.to_owned()))?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+    let open = rhs
+        .find('(')
+        .ok_or_else(|| ParseBenchErrorKind::MalformedLine(line.to_owned()))?;
+    if !rhs.ends_with(')') {
+        return Err(ParseBenchErrorKind::MalformedLine(line.to_owned()));
+    }
+    let keyword = rhs[..open].trim();
+    let args_text = &rhs[open + 1..rhs.len() - 1];
+    let args: Vec<&str> = args_text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if keyword.eq_ignore_ascii_case("DFF") {
+        if args.len() != 1 {
+            return Err(ParseBenchErrorKind::BadArity {
+                kind: "DFF".to_owned(),
+                found: args.len(),
+            });
+        }
+        b.dff(lhs, args[0]);
+        return Ok(());
+    }
+    let kind: GateKind = keyword
+        .parse()
+        .map_err(|_| ParseBenchErrorKind::UnknownGateKind(keyword.to_owned()))?;
+    let arity_ok = if kind.is_unary() {
+        args.len() == 1
+    } else {
+        args.len() >= 2
+    };
+    if !arity_ok {
+        return Err(ParseBenchErrorKind::BadArity {
+            kind: keyword.to_owned(),
+            found: args.len(),
+        });
+    }
+    b.gate(kind, lhs, &args);
+    Ok(())
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// The ISCAS-89 s27 benchmark netlist (4 PIs, 1 PO, 3 DFFs, 10 gates),
+/// embedded as a golden reference for the parser and simulator.
+pub const S27_BENCH: &str = include_str!("data/s27.bench");
+
+/// Parses the embedded [`S27_BENCH`] netlist.
+///
+/// # Panics
+///
+/// Never panics in practice; the embedded text is validated by tests.
+#[must_use]
+pub fn s27() -> Netlist {
+    Netlist::from_bench("s27", S27_BENCH).expect("embedded s27 netlist is valid")
+}
+
+/// Summary of a netlist's interface, used when comparing against
+/// published benchmark statistics.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub struct InterfaceStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of combinational gates.
+    pub gates: usize,
+}
+
+impl Netlist {
+    /// Interface statistics of this netlist.
+    #[must_use]
+    pub fn interface_stats(&self) -> InterfaceStats {
+        InterfaceStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            dffs: self.num_dffs(),
+            gates: self.num_gates(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Driver;
+
+    #[test]
+    fn s27_parses_with_published_interface() {
+        let n = s27();
+        assert_eq!(
+            n.interface_stats(),
+            InterfaceStats {
+                inputs: 4,
+                outputs: 1,
+                dffs: 3,
+                gates: 10
+            }
+        );
+    }
+
+    #[test]
+    fn s27_dff_wiring() {
+        let n = s27();
+        let g5 = n.find_net("G5").unwrap();
+        match n.driver(g5) {
+            Driver::Dff(id) => assert_eq!(n.dff(id).d, n.find_net("G10").unwrap()),
+            other => panic!("G5 should be DFF-driven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bench_text() {
+        let n = s27();
+        let text = n.to_bench_string();
+        let n2 = Netlist::from_bench("s27-rt", &text).unwrap();
+        assert_eq!(n.interface_stats(), n2.interface_stats());
+        // Same gate multiset by (kind, output name).
+        let mut a: Vec<(GateKind, &str)> = n
+            .gates()
+            .iter()
+            .map(|g| (g.kind, n.net_name(g.output)))
+            .collect();
+        let mut b: Vec<(GateKind, &str)> = n2
+            .gates()
+            .iter()
+            .map(|g| (g.kind, n2.net_name(g.output)))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let n = Netlist::from_bench(
+            "c",
+            "# header\n\nINPUT(a) # trailing\nOUTPUT(y)\ny = BUFF(a)\n",
+        )
+        .unwrap();
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let err = Netlist::from_bench("c", "INPUT(a)\ngarbage here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, ParseBenchErrorKind::MalformedLine(_)));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let err = Netlist::from_bench("c", "INPUT(a)\ny = MAJ(a, a, a)\n").unwrap_err();
+        assert!(matches!(err.kind, ParseBenchErrorKind::UnknownGateKind(k) if k == "MAJ"));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let err = Netlist::from_bench("c", "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseBenchErrorKind::BadArity { found: 2, .. }
+        ));
+        let err = Netlist::from_bench("c", "INPUT(a)\ny = AND(a)\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseBenchErrorKind::BadArity { found: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn dff_arity_rejected() {
+        let err = Netlist::from_bench("c", "INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseBenchErrorKind::BadArity { found: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn structural_error_surfaces() {
+        let err = Netlist::from_bench("c", "INPUT(a)\ny = NOT(ghost)\nOUTPUT(y)\n").unwrap_err();
+        assert!(matches!(err.kind, ParseBenchErrorKind::Structure(_)));
+    }
+}

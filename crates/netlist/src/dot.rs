@@ -1,0 +1,141 @@
+//! Graphviz DOT export for netlist visualization.
+//!
+//! Renders the circuit graph in the conventional DFT iconography:
+//! primary inputs as plain ellipses, gates as boxes labelled with their
+//! function, flip-flops as doubled boxes, and primary outputs as
+//! double ellipses — ready for `dot -Tsvg`.
+
+use std::fmt::Write as _;
+
+use crate::gate::Driver;
+use crate::Netlist;
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use scan_netlist::{bench, dot};
+///
+/// let graph = dot::to_dot(&bench::s27());
+/// assert!(graph.starts_with("digraph s27 {"));
+/// assert!(graph.contains("NAND"));
+/// ```
+#[must_use]
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(netlist.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    // Primary inputs.
+    for &net in netlist.inputs() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=ellipse, label=\"{}\"];",
+            node_id(netlist, net),
+            netlist.net_name(net)
+        );
+    }
+    // Gates: one node per gate, named by output net.
+    for gate in netlist.gates() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=box, label=\"{}\\n{}\"];",
+            node_id(netlist, gate.output),
+            gate.kind,
+            netlist.net_name(gate.output)
+        );
+        for &input in &gate.inputs {
+            let _ = writeln!(
+                out,
+                "  {} -> {};",
+                node_id(netlist, input),
+                node_id(netlist, gate.output)
+            );
+        }
+    }
+    // Flip-flops: Q node plus an edge from the D driver.
+    for dff in netlist.dffs() {
+        let _ = writeln!(
+            out,
+            "  {} [shape=box, peripheries=2, label=\"DFF\\n{}\"];",
+            node_id(netlist, dff.q),
+            netlist.net_name(dff.q)
+        );
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dashed];",
+            node_id(netlist, dff.d),
+            node_id(netlist, dff.q)
+        );
+    }
+    // Primary outputs: a sink marker per output net.
+    for (i, &net) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  po{i} [shape=doublecircle, label=\"{}\"];",
+            netlist.net_name(net)
+        );
+        let _ = writeln!(out, "  {} -> po{i};", node_id(netlist, net));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn node_id(netlist: &Netlist, net: crate::NetId) -> String {
+    // Nets driven by nothing drawable (sources) and gate outputs share
+    // the net-name namespace, prefixed for DOT validity.
+    let prefix = match netlist.driver(net) {
+        Driver::PrimaryInput => "pi",
+        Driver::Gate(_) => "g",
+        Driver::Dff(_) => "ff",
+    };
+    format!("{prefix}_{}", sanitize(netlist.net_name(net)))
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn s27_dot_structure() {
+        let dot = to_dot(&bench::s27());
+        assert!(dot.starts_with("digraph s27 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // All 10 gates appear as boxes; 3 flip-flops as doubled boxes.
+        assert_eq!(dot.matches("shape=box, label=").count(), 10);
+        assert_eq!(dot.matches("peripheries=2").count(), 3);
+        // The PO sink exists and is fed.
+        assert!(dot.contains("po0 [shape=doublecircle"));
+        assert!(dot.contains("-> po0;"));
+    }
+
+    #[test]
+    fn edges_match_gate_fanin() {
+        let n = bench::s27();
+        let dot = to_dot(&n);
+        let gate_edges = dot
+            .lines()
+            .filter(|l| l.contains("->") && !l.contains("po") && !l.contains("dashed"))
+            .count();
+        let total_pins: usize = n.gates().iter().map(|g| g.inputs.len()).sum();
+        assert_eq!(gate_edges, total_pins);
+    }
+
+    #[test]
+    fn sanitization_keeps_dot_valid() {
+        let n = crate::Netlist::from_bench("odd-name", "INPUT(a.1)\nOUTPUT(y)\ny = NOT(a.1)\n")
+            .unwrap();
+        let dot = to_dot(&n);
+        assert!(dot.contains("digraph odd_name"));
+        assert!(dot.contains("pi_a_1"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a `.bench` gate keyword is not recognized.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ParseGateKindError {
+    pub(crate) token: String,
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.token)
+    }
+}
+
+impl Error for ParseGateKindError {}
+
+/// Error returned when parsing ISCAS-89 `.bench` text fails.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ParseBenchError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseBenchErrorKind,
+}
+
+/// The specific failure encountered while parsing `.bench` text.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum ParseBenchErrorKind {
+    /// A line was not a comment, an `INPUT`/`OUTPUT` declaration, or an
+    /// assignment.
+    MalformedLine(String),
+    /// The gate keyword on an assignment line is not a known kind.
+    UnknownGateKind(String),
+    /// A gate had an invalid number of inputs for its kind.
+    BadArity {
+        /// The gate keyword.
+        kind: String,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// The resulting netlist failed structural validation.
+    Structure(NetlistError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseBenchErrorKind::MalformedLine(l) => write!(f, "malformed line `{l}`"),
+            ParseBenchErrorKind::UnknownGateKind(k) => write!(f, "unknown gate kind `{k}`"),
+            ParseBenchErrorKind::BadArity { kind, found } => {
+                write!(f, "gate `{kind}` cannot take {found} input(s)")
+            }
+            ParseBenchErrorKind::Structure(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseBenchErrorKind::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Error returned when a netlist is structurally invalid.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum NetlistError {
+    /// A net is driven by more than one source.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// A net is referenced but never driven.
+    Undriven {
+        /// Name of the undriven net.
+        net: String,
+    },
+    /// The combinational logic contains a cycle (through the named net).
+    CombinationalCycle {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// A net name was declared twice as a primary input.
+    DuplicateInput {
+        /// The duplicated name.
+        net: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net `{net}` has multiple drivers")
+            }
+            NetlistError::Undriven { net } => write!(f, "net `{net}` is never driven"),
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            NetlistError::DuplicateInput { net } => {
+                write!(f, "net `{net}` declared as primary input twice")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+impl From<NetlistError> for ParseBenchErrorKind {
+    fn from(e: NetlistError) -> Self {
+        ParseBenchErrorKind::Structure(e)
+    }
+}

@@ -1,0 +1,311 @@
+//! Gate and net primitives for gate-level netlists.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseGateKindError;
+
+/// Identifier of a net (a named wire) within a [`Netlist`](crate::Netlist).
+///
+/// Net ids are dense indices assigned in creation order; they are only
+/// meaningful relative to the netlist that created them.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the dense index of this net.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a combinational gate within a [`Netlist`](crate::Netlist).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// Returns the dense index of this gate.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Identifier of a D flip-flop within a [`Netlist`](crate::Netlist).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct DffId(pub(crate) u32);
+
+impl DffId {
+    /// Returns the dense index of this flip-flop.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DffId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ff{}", self.0)
+    }
+}
+
+/// The boolean function computed by a combinational gate.
+///
+/// These are exactly the gate types appearing in the ISCAS-89 `.bench`
+/// netlist format (flip-flops are modelled separately as
+/// [`Dff`](crate::Dff)).
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum GateKind {
+    /// Logical AND of all inputs.
+    And,
+    /// Negated AND.
+    Nand,
+    /// Logical OR of all inputs.
+    Or,
+    /// Negated OR.
+    Nor,
+    /// Exclusive OR (parity) of all inputs.
+    Xor,
+    /// Negated exclusive OR.
+    Xnor,
+    /// Inverter; exactly one input.
+    Not,
+    /// Buffer; exactly one input.
+    Buf,
+}
+
+impl GateKind {
+    /// All gate kinds, in a fixed order.
+    pub const ALL: [GateKind; 8] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+
+    /// Returns `true` if this kind admits exactly one input (NOT/BUF).
+    #[must_use]
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Returns `true` if the gate output is the complement of the
+    /// underlying AND/OR/XOR function.
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// Evaluates the gate over bit-packed words, one bit per pattern.
+    ///
+    /// Each element of `inputs` carries 64 independent pattern bits; the
+    /// result is the gate function applied bit-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty, or if the kind is unary and more than
+    /// one input is supplied.
+    #[must_use]
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        assert!(!inputs.is_empty(), "gate must have at least one input");
+        if self.is_unary() {
+            assert_eq!(inputs.len(), 1, "unary gate takes exactly one input");
+        }
+        let acc = match self {
+            GateKind::And | GateKind::Nand => inputs.iter().fold(!0u64, |a, &b| a & b),
+            GateKind::Or | GateKind::Nor => inputs.iter().fold(0u64, |a, &b| a | b),
+            GateKind::Xor | GateKind::Xnor => inputs.iter().fold(0u64, |a, &b| a ^ b),
+            GateKind::Not | GateKind::Buf => inputs[0],
+        };
+        if self.is_inverting() {
+            !acc
+        } else {
+            acc
+        }
+    }
+
+    /// Evaluates the gate over plain booleans (convenience for tests and
+    /// single-pattern applications).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GateKind::eval_words`].
+    #[must_use]
+    pub fn eval_bools(self, inputs: &[bool]) -> bool {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        self.eval_words(&words) & 1 != 0
+    }
+
+    /// The `.bench` keyword for this gate kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+        }
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// An input at the controlling value determines the output regardless
+    /// of the other inputs (e.g. `0` for AND/NAND, `1` for OR/NOR).
+    /// XOR-class and unary gates have no controlling value.
+    #[must_use]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            _ => Err(ParseGateKindError {
+                token: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// A combinational gate instance: a kind, input nets, and one output net.
+#[derive(Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Gate {
+    /// The boolean function of the gate.
+    pub kind: GateKind,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// The net driven by this gate.
+    pub output: NetId,
+}
+
+/// A D flip-flop: `q` takes the value of `d` at each capture clock.
+///
+/// In the full-scan methodology modelled by this workspace every flip-flop
+/// is a scan cell: its state is externally loadable through the scan chain
+/// and its captured value is externally observable by shifting out.
+#[derive(Clone, Copy, Eq, PartialEq, Hash, Debug)]
+pub struct Dff {
+    /// The data input net (next-state function output).
+    pub d: NetId,
+    /// The output net (present state, a pseudo-primary input).
+    pub q: NetId,
+}
+
+/// What drives a net.
+#[derive(Clone, Copy, Eq, PartialEq, Hash, Debug)]
+pub enum Driver {
+    /// Driven from outside the circuit (a primary input).
+    PrimaryInput,
+    /// Driven by a combinational gate.
+    Gate(GateId),
+    /// Driven by the Q output of a flip-flop.
+    Dff(DffId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_words_basic_kinds() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Nand.eval_words(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Or.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Nor.eval_words(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Xnor.eval_words(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval_words(&[a]) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval_words(&[a]) & 0xF, 0b1100);
+    }
+
+    #[test]
+    fn eval_words_three_inputs() {
+        let a = 0b1111_0000u64;
+        let b = 0b1100_1100u64;
+        let c = 0b1010_1010u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b, c]) & 0xFF, 0b1000_0000);
+        assert_eq!(GateKind::Or.eval_words(&[a, b, c]) & 0xFF, 0b1111_1110);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b, c]) & 0xFF, 0b1001_0110);
+    }
+
+    #[test]
+    fn eval_bools_matches_words() {
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let w = kind.eval_words(&[u64::from(a), u64::from(b)]) & 1 != 0;
+                    assert_eq!(kind.eval_bools(&[a, b]), w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_gate_kind_aliases() {
+        assert_eq!("nand".parse::<GateKind>().unwrap(), GateKind::Nand);
+        assert_eq!("BUFF".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("INV".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unary gate takes exactly one input")]
+    fn unary_rejects_two_inputs() {
+        let _ = GateKind::Not.eval_words(&[0, 1]);
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+
+use scan_netlist::generate::{generate_with, profile, GeneratorConfig};
+use scan_netlist::{BitSet, GateKind, Netlist, ScanView};
+
+proptest! {
+    /// BitSet behaves like a reference HashSet under a random op
+    /// sequence.
+    #[test]
+    fn bitset_matches_hashset_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..300)) {
+        let mut set = BitSet::new(200);
+        let mut model = std::collections::HashSet::new();
+        for (idx, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(idx), model.insert(idx));
+            } else {
+                prop_assert_eq!(set.remove(idx), model.remove(&idx));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let mut items: Vec<usize> = model.into_iter().collect();
+        items.sort_unstable();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), items);
+    }
+
+    /// Set algebra laws hold for random member sets.
+    #[test]
+    fn bitset_algebra_laws(
+        a in prop::collection::hash_set(0usize..128, 0..64),
+        b in prop::collection::hash_set(0usize..128, 0..64),
+    ) {
+        let mk = |s: &std::collections::HashSet<usize>| {
+            let mut set = BitSet::new(128);
+            for &i in s { set.insert(i); }
+            set
+        };
+        let (sa, sb) = (mk(&a), mk(&b));
+        // Union is commutative.
+        let mut u1 = sa.clone(); u1.union_with(&sb);
+        let mut u2 = sb.clone(); u2.union_with(&sa);
+        prop_assert_eq!(&u1, &u2);
+        // Intersection subset of both.
+        let mut i1 = sa.clone(); i1.intersect_with(&sb);
+        prop_assert!(i1.is_subset(&sa));
+        prop_assert!(i1.is_subset(&sb));
+        // Difference disjoint from subtrahend.
+        let mut d = sa.clone(); d.difference_with(&sb);
+        prop_assert!(!d.intersects(&sb) || d.is_empty());
+        // |A∪B| = |A| + |B| − |A∩B|.
+        prop_assert_eq!(u1.len() + i1.len(), sa.len() + sb.len());
+    }
+
+    /// Gate evaluation over packed words agrees with the boolean model
+    /// on every lane.
+    #[test]
+    fn eval_words_matches_bool_model(
+        kind_idx in 0usize..8,
+        inputs in prop::collection::vec(any::<u64>(), 1..4),
+        lane in 0usize..64,
+    ) {
+        let kind = GateKind::ALL[kind_idx];
+        let inputs = if kind.is_unary() { vec![inputs[0]] } else if inputs.len() < 2 { vec![inputs[0], inputs[0]] } else { inputs };
+        let word = kind.eval_words(&inputs);
+        let bools: Vec<bool> = inputs.iter().map(|w| w >> lane & 1 != 0).collect();
+        prop_assert_eq!(word >> lane & 1 != 0, kind.eval_bools(&bools));
+    }
+
+    /// Generated circuits always roundtrip through .bench text.
+    #[test]
+    fn generated_circuits_roundtrip(seed in 0u64..50) {
+        let p = profile("s386").unwrap();
+        let n = generate_with(p, seed, &GeneratorConfig::default());
+        let text = n.to_bench_string();
+        let n2 = Netlist::from_bench("rt", &text).unwrap();
+        prop_assert_eq!(n.interface_stats(), n2.interface_stats());
+        prop_assert_eq!(n.depth(), n2.depth());
+    }
+
+    /// Generator locality knob: tighter locality never increases the
+    /// structural span fraction dramatically, and views stay complete.
+    #[test]
+    fn generator_views_complete(seed in 0u64..30) {
+        let p = profile("s298").unwrap();
+        let n = generate_with(p, seed, &GeneratorConfig::default());
+        let view = ScanView::natural(&n, true);
+        prop_assert_eq!(view.len(), p.dffs + p.outputs);
+        // Every observed net exists and is driven (observed_net panics
+        // otherwise).
+        for pos in 0..view.len() {
+            let _ = view.observed_net(&n, pos);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Scan chain integrity faults.
+//!
+//! The paper diagnoses *system logic* faults observed through a healthy
+//! scan chain; the complementary failure mode is a defect in the chain
+//! itself — a scan cell whose shift path is stuck. A stuck shift stage
+//! corrupts traffic in both directions:
+//!
+//! * **scan-in**: every bit that must pass *through* the broken stage
+//!   to reach its destination arrives as the stuck value, so cells
+//!   *upstream* of the defect (loaded through it) all capture the
+//!   constant;
+//! * **scan-out**: every observed bit that passes through the stage on
+//!   its way to the output is forced, so cells upstream of the defect
+//!   are observed as the constant.
+//!
+//! (Here "upstream" means farther from the scan output: with the
+//! convention that cell 0 is next to the scan output, a defect at
+//! position `k` forces the *loaded* state of positions `> k` wrong and
+//! the *observed* values of positions `> k` constant, while positions
+//! `≤ k` load and observe correctly.)
+
+use scan_netlist::{Netlist, ScanView};
+
+use crate::error::PatternShapeError;
+use crate::pattern::PatternSet;
+use crate::response::ResponseMap;
+use crate::simulator::Simulator;
+
+/// A stuck-at defect in the scan shift path at one chain position.
+#[derive(Clone, Copy, Eq, PartialEq, Hash, Debug)]
+pub struct ChainFault {
+    /// Shift position of the broken cell (0 = next to scan output).
+    pub position: usize,
+    /// The stuck value of the shift stage.
+    pub stuck: bool,
+}
+
+/// Simulates BIST test application through a defective scan chain.
+///
+/// Produces the *observed* responses: the scan-in corruption alters what
+/// the circuit captures, and the scan-out corruption alters what the
+/// compactor sees. Primary outputs (view positions beyond the scan
+/// cells) are observed directly and are only affected through the
+/// corrupted loaded state.
+///
+/// # Errors
+///
+/// Returns [`PatternShapeError`] if the pattern set does not match the
+/// netlist interface.
+///
+/// # Panics
+///
+/// Panics if `fault.position` is not a scan-cell position of the view.
+pub fn simulate_chain_fault(
+    netlist: &Netlist,
+    view: &ScanView,
+    patterns: &PatternSet,
+    fault: &ChainFault,
+) -> Result<ResponseMap, PatternShapeError> {
+    assert!(
+        fault.position < view.num_cells(),
+        "chain fault position {} beyond the {} scan cells",
+        fault.position,
+        view.num_cells()
+    );
+    // Build the corrupted loaded state: cells loaded through the broken
+    // stage (positions > fault.position) receive the stuck value.
+    let corrupted = corrupt_loads(netlist, view, patterns, fault);
+    let sim = Simulator::new(netlist, &corrupted)?;
+    let mut response = ResponseMap::zeroed(view.len(), patterns.num_patterns());
+    let mut values = vec![0u64; netlist.num_nets()];
+    let stuck_word = if fault.stuck { !0u64 } else { 0u64 };
+    for word in 0..patterns.num_words() {
+        sim.eval_word(word, None, &mut values);
+        let mask = patterns.lane_mask(word);
+        for pos in 0..view.len() {
+            let net = view.observed_net(netlist, pos);
+            let mut observed = values[net.index()];
+            // Scan-out corruption: scan-cell positions shifted out
+            // through the defect are forced.
+            if pos < view.num_cells() && pos > fault.position {
+                observed = stuck_word;
+            }
+            response.set_word(pos, word, observed & mask);
+        }
+    }
+    Ok(response)
+}
+
+/// The load-corrupting transform: positions `> fault.position` receive
+/// the stuck value instead of their PRPG bits.
+fn corrupt_loads(
+    netlist: &Netlist,
+    view: &ScanView,
+    patterns: &PatternSet,
+    fault: &ChainFault,
+) -> PatternSet {
+    let num_patterns = patterns.num_patterns();
+    // Map each flip-flop (declaration index) to its chain position.
+    let position_of_ff: Vec<usize> = netlist
+        .dff_ids()
+        .map(|ff| view.position_of_cell(ff).expect("view covers every FF"))
+        .collect();
+    let mut ff_index = 0usize;
+    let mut pi_index = 0usize;
+    let mut pattern = 0usize;
+    PatternSet::from_bit_stream(
+        netlist.num_inputs(),
+        netlist.num_dffs(),
+        num_patterns,
+        move || {
+            // Reproduce the scan-application order: per pattern, FFs
+            // then PIs.
+            if ff_index < position_of_ff.len() {
+                let ff = ff_index;
+                ff_index += 1;
+                let original = patterns.state_bit(ff, pattern);
+                if position_of_ff[ff] > fault.position {
+                    fault.stuck
+                } else {
+                    original
+                }
+            } else {
+                let pi = pi_index;
+                pi_index += 1;
+                if pi_index == netlist.num_inputs() {
+                    pi_index = 0;
+                    ff_index = 0;
+                    let bit = patterns.pi_bit(pi, pattern);
+                    pattern += 1;
+                    bit
+                } else {
+                    patterns.pi_bit(pi, pattern)
+                }
+            }
+        },
+    )
+}
+
+/// Locates a chain defect from flush-test behaviour: an all-zeros and an
+/// all-ones chain flush (no capture) reveal the stuck value and the
+/// boundary position.
+///
+/// Returns `None` when both flushes come back clean (no chain defect).
+///
+/// With a defect at position `k` stuck at `v`, the observed flush of
+/// the complementary value `!v` reads `!v` at positions `0..=k` and `v`
+/// above — the first corrupted position is `k + 1`, so `k` is the last
+/// correct one.
+///
+/// # Panics
+///
+/// Panics if the two flush observations have different lengths.
+#[must_use]
+pub fn locate_chain_fault(
+    flush_zeros_observed: &[bool],
+    flush_ones_observed: &[bool],
+) -> Option<ChainFault> {
+    assert_eq!(
+        flush_zeros_observed.len(),
+        flush_ones_observed.len(),
+        "flush observations must cover the same chain"
+    );
+    // Stuck-at-1: the zero flush shows ones somewhere.
+    if let Some(first_bad) = flush_zeros_observed.iter().position(|&b| b) {
+        return Some(ChainFault {
+            position: first_bad.saturating_sub(1),
+            stuck: true,
+        });
+    }
+    // Stuck-at-0: the ones flush shows zeros somewhere.
+    if let Some(first_bad) = flush_ones_observed.iter().position(|&b| !b) {
+        return Some(ChainFault {
+            position: first_bad.saturating_sub(1),
+            stuck: false,
+        });
+    }
+    None
+}
+
+/// The flush observation a defective chain produces for a constant
+/// flush of `value` (the model used by [`locate_chain_fault`]).
+#[must_use]
+pub fn flush_observation(chain_len: usize, fault: Option<&ChainFault>, value: bool) -> Vec<bool> {
+    (0..chain_len)
+        .map(|pos| match fault {
+            Some(f) if pos > f.position => f.stuck,
+            _ => value,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_sim::FaultSimulator;
+    use scan_netlist::bench;
+
+    fn setup() -> (Netlist, ScanView, PatternSet) {
+        let n = bench::s27();
+        let view = ScanView::natural(&n, true);
+        let patterns = PatternSet::pseudo_random(4, 3, 64, 5);
+        (n, view, patterns)
+    }
+
+    #[test]
+    fn chain_fault_corrupts_upstream_only() {
+        let (n, view, patterns) = setup();
+        let fault = ChainFault {
+            position: 0,
+            stuck: true,
+        };
+        let observed = simulate_chain_fault(&n, &view, &patterns, &fault).unwrap();
+        // Scan cells above the defect read constant 1.
+        for pos in 1..view.num_cells() {
+            for t in 0..8 {
+                assert!(observed.bit(pos, t), "position {pos} pattern {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_position_matches_golden_when_loads_unaffected() {
+        // A defect at the last chain position (2 of 3) corrupts no
+        // loads in this convention only if every cell's position ≤ 2 —
+        // cells at positions > 2 don't exist, so captures equal golden
+        // and only scan-out could differ (nothing is above it).
+        let (n, view, patterns) = setup();
+        let fault = ChainFault {
+            position: view.num_cells() - 1,
+            stuck: false,
+        };
+        let observed = simulate_chain_fault(&n, &view, &patterns, &fault).unwrap();
+        let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
+        assert_eq!(&observed, fsim.golden());
+    }
+
+    #[test]
+    fn primary_outputs_see_corrupted_state() {
+        // Loads above the defect are constant, so the PO response
+        // generally differs from golden even though POs bypass the
+        // chain.
+        let (n, view, patterns) = setup();
+        let fault = ChainFault {
+            position: 0,
+            stuck: false,
+        };
+        let observed = simulate_chain_fault(&n, &view, &patterns, &fault).unwrap();
+        let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
+        let po_pos = view.num_cells();
+        let differs = (0..patterns.num_patterns())
+            .any(|t| observed.bit(po_pos, t) != fsim.golden().bit(po_pos, t));
+        assert!(differs, "PO must reflect the corrupted loaded state");
+    }
+
+    #[test]
+    fn flush_localization_is_exact() {
+        for chain_len in [3usize, 10, 52] {
+            for position in 0..chain_len - 1 {
+                for stuck in [false, true] {
+                    let fault = ChainFault { position, stuck };
+                    let zeros = flush_observation(chain_len, Some(&fault), false);
+                    let ones = flush_observation(chain_len, Some(&fault), true);
+                    let located = locate_chain_fault(&zeros, &ones).expect("defect visible");
+                    assert_eq!(located, fault, "chain {chain_len} pos {position}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_flushes_mean_no_defect() {
+        let zeros = flush_observation(10, None, false);
+        let ones = flush_observation(10, None, true);
+        assert_eq!(locate_chain_fault(&zeros, &ones), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the")]
+    fn position_beyond_cells_rejected() {
+        let (n, view, patterns) = setup();
+        let fault = ChainFault {
+            position: view.num_cells(),
+            stuck: true,
+        };
+        let _ = simulate_chain_fault(&n, &view, &patterns, &fault);
+    }
+}

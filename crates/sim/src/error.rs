@@ -1,0 +1,30 @@
+//! Error types for the simulation crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a pattern set does not match a circuit's
+/// interface.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub struct PatternShapeError {
+    /// Primary inputs the circuit has.
+    pub expected_pis: usize,
+    /// Flip-flops the circuit has.
+    pub expected_ffs: usize,
+    /// Primary inputs the pattern set provides.
+    pub found_pis: usize,
+    /// Flip-flop load values the pattern set provides.
+    pub found_ffs: usize,
+}
+
+impl fmt::Display for PatternShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pattern set shape ({} PIs, {} FFs) does not match circuit ({} PIs, {} FFs)",
+            self.found_pis, self.found_ffs, self.expected_pis, self.expected_ffs
+        )
+    }
+}
+
+impl Error for PatternShapeError {}

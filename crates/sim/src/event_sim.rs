@@ -1,0 +1,285 @@
+//! Event-driven stuck-at fault simulation.
+//!
+//! [`FaultSimulator`](crate::FaultSimulator) re-evaluates the whole
+//! circuit per fault; this engine instead propagates only the *changes*
+//! a fault causes. The fault-free value of every net is computed once;
+//! per fault, a levelized worklist re-evaluates just the gates whose
+//! inputs changed, and touched nets are restored afterwards. For faults
+//! with small cones (the common case the paper's clustering argument
+//! rests on) this visits a tiny fraction of the circuit.
+//!
+//! Both engines are bit-exact (see the cross-check tests); the Criterion
+//! bench `fault_sim` compares their throughput.
+
+use scan_netlist::{GateId, Netlist, ScanView};
+
+use crate::error::PatternShapeError;
+use crate::fault::{Fault, FaultSite};
+use crate::pattern::PatternSet;
+use crate::response::{ErrorMap, ResponseMap};
+use crate::simulator::Simulator;
+
+/// An event-driven fault simulator bound to one circuit, scan view, and
+/// pattern set.
+///
+/// # Examples
+///
+/// ```
+/// use scan_netlist::{bench, ScanView};
+/// use scan_sim::{EventFaultSimulator, Fault, PatternSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s27 = bench::s27();
+/// let view = ScanView::natural(&s27, true);
+/// let patterns = PatternSet::pseudo_random(4, 3, 64, 1);
+/// let mut esim = EventFaultSimulator::new(&s27, &view, &patterns)?;
+/// let g10 = s27.find_net("G10").expect("net exists");
+/// let errors = esim.error_map(&Fault::stem(g10, true));
+/// assert!(errors.is_detected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventFaultSimulator<'a> {
+    netlist: &'a Netlist,
+    patterns: &'a PatternSet,
+    view_len: usize,
+    /// Fault-free net values, `golden[word][net]`.
+    golden_nets: Vec<Vec<u64>>,
+    /// Fault-free observed response.
+    golden: ResponseMap,
+    /// Observation positions per net (a net can be both a PO and a DFF
+    /// data input).
+    observers: Vec<Vec<u32>>,
+    /// Scratch copy of the current word's net values (restored after
+    /// each fault).
+    scratch: Vec<u64>,
+    /// Whether a gate is already queued, per gate.
+    queued: Vec<bool>,
+    /// Worklist buckets by gate level.
+    buckets: Vec<Vec<GateId>>,
+}
+
+impl<'a> EventFaultSimulator<'a> {
+    /// Creates the simulator and computes the fault-free values of
+    /// every net for every pattern word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternShapeError`] if the pattern set does not match
+    /// the netlist interface.
+    pub fn new(
+        netlist: &'a Netlist,
+        view: &'a ScanView,
+        patterns: &'a PatternSet,
+    ) -> Result<Self, PatternShapeError> {
+        let sim = Simulator::new(netlist, patterns)?;
+        let mut golden_nets = Vec::with_capacity(patterns.num_words());
+        let mut values = vec![0u64; netlist.num_nets()];
+        for word in 0..patterns.num_words() {
+            sim.eval_word(word, None, &mut values);
+            golden_nets.push(values.clone());
+        }
+        let mut observers = vec![Vec::new(); netlist.num_nets()];
+        let mut golden = ResponseMap::zeroed(view.len(), patterns.num_patterns());
+        for pos in 0..view.len() {
+            let net = view.observed_net(netlist, pos);
+            observers[net.index()].push(pos as u32);
+            for (word, nets) in golden_nets.iter().enumerate() {
+                golden.set_word(pos, word, nets[net.index()] & patterns.lane_mask(word));
+            }
+        }
+        let depth = netlist.depth() as usize;
+        Ok(EventFaultSimulator {
+            netlist,
+            patterns,
+            view_len: view.len(),
+            scratch: golden_nets.first().cloned().unwrap_or_default(),
+            golden_nets,
+            golden,
+            observers,
+            queued: vec![false; netlist.num_gates()],
+            buckets: vec![Vec::new(); depth + 2],
+        })
+    }
+
+    /// The fault-free observed response.
+    #[must_use]
+    pub fn golden(&self) -> &ResponseMap {
+        &self.golden
+    }
+
+    /// Simulates `fault` by event propagation and returns its error
+    /// map. Bit-exact with
+    /// [`FaultSimulator::error_map`](crate::FaultSimulator::error_map).
+    pub fn error_map(&mut self, fault: &Fault) -> ErrorMap {
+        let mut errors = ResponseMap::zeroed(self.view_len, self.patterns.num_patterns());
+        let forced = if fault.stuck { !0u64 } else { 0u64 };
+        for word in 0..self.patterns.num_words() {
+            self.propagate_word(word, fault, forced, &mut errors);
+        }
+        ErrorMap::from(errors)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn propagate_word(
+        &mut self,
+        word: usize,
+        fault: &Fault,
+        forced: u64,
+        errors: &mut ResponseMap,
+    ) {
+        // scratch currently equals golden_nets[previous word] for all
+        // untouched nets; resynchronize it wholesale per word (cheap:
+        // one memcpy per word, shared by the fault).
+        self.scratch.copy_from_slice(&self.golden_nets[word]);
+        let mask = self.patterns.lane_mask(word);
+        let mut touched: Vec<usize> = Vec::new();
+        // The stem net whose value stays forced regardless of inputs.
+        let mut forced_stem: Option<usize> = None;
+
+        // Seed the worklist.
+        match fault.site {
+            FaultSite::Stem(net) => {
+                forced_stem = Some(net.index());
+                let diff = (self.scratch[net.index()] ^ forced) & mask;
+                if diff == 0 {
+                    return;
+                }
+                self.scratch[net.index()] = forced;
+                touched.push(net.index());
+                self.record_errors(net.index(), diff, word, errors);
+                // If a gate drives the stem, nothing upstream changes;
+                // only the fanout must be re-evaluated either way.
+                for &g in self.netlist.fanout(net) {
+                    self.enqueue(g);
+                }
+            }
+            FaultSite::Pin { gate, .. } => {
+                self.enqueue(gate);
+            }
+        }
+
+        // Levelized propagation.
+        for level in 0..self.buckets.len() {
+            while let Some(gid) = self.buckets[level].pop() {
+                self.queued[gid.index()] = false;
+                let gate = self.netlist.gate(gid);
+                let out_index = gate.output.index();
+                if forced_stem == Some(out_index) {
+                    // The output is pinned by the stem fault; input
+                    // changes cannot move it.
+                    continue;
+                }
+                let mut inputs: Vec<u64> = gate
+                    .inputs
+                    .iter()
+                    .map(|n| self.scratch[n.index()])
+                    .collect();
+                if let FaultSite::Pin { gate: fgate, pin } = fault.site {
+                    if fgate == gid {
+                        inputs[pin as usize] = forced;
+                    }
+                }
+                let new = gate.kind.eval_words(&inputs);
+                let old = self.scratch[out_index];
+                let diff = (new ^ old) & mask;
+                if diff == 0 {
+                    continue;
+                }
+                self.scratch[out_index] = new;
+                touched.push(out_index);
+                let golden_diff = (new ^ self.golden_nets[word][out_index]) & mask;
+                self.record_errors(out_index, golden_diff, word, errors);
+                for &succ in self.netlist.fanout(gate.output) {
+                    self.enqueue(succ);
+                }
+            }
+        }
+
+        // Restore scratch to golden for the touched nets (constant-time
+        // reuse for the next word/fault).
+        for net in touched {
+            self.scratch[net] = self.golden_nets[word][net];
+        }
+    }
+
+    fn enqueue(&mut self, gate: GateId) {
+        if !self.queued[gate.index()] {
+            self.queued[gate.index()] = true;
+            let level = self.netlist.gate_level(gate) as usize;
+            self.buckets[level].push(gate);
+        }
+    }
+
+    fn record_errors(&self, net: usize, diff: u64, word: usize, errors: &mut ResponseMap) {
+        if diff == 0 {
+            return;
+        }
+        for &pos in &self.observers[net] {
+            let current = errors.word(pos as usize, word);
+            errors.set_word(pos as usize, word, current | diff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultUniverse;
+    use crate::fault_sim::FaultSimulator;
+    use scan_netlist::generate::{generate, profile};
+    use scan_netlist::{bench, ScanView};
+
+    #[test]
+    fn matches_full_resimulation_on_s27() {
+        let n = bench::s27();
+        let view = ScanView::natural(&n, true);
+        let patterns = PatternSet::pseudo_random(4, 3, 100, 7);
+        let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
+        let mut esim = EventFaultSimulator::new(&n, &view, &patterns).unwrap();
+        assert_eq!(fsim.golden(), esim.golden());
+        for fault in FaultUniverse::all(&n).faults() {
+            assert_eq!(
+                fsim.error_map(fault),
+                esim.error_map(fault),
+                "fault {}",
+                fault.describe(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_full_resimulation_on_synthetic_circuit() {
+        let p = profile("s344").unwrap();
+        let n = generate(p, 5);
+        let view = ScanView::natural(&n, true);
+        let patterns = PatternSet::pseudo_random(n.num_inputs(), n.num_dffs(), 128, 3);
+        let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
+        let mut esim = EventFaultSimulator::new(&n, &view, &patterns).unwrap();
+        for fault in FaultUniverse::collapsed(&n).faults().iter().take(150) {
+            assert_eq!(
+                fsim.error_map(fault),
+                esim.error_map(fault),
+                "fault {}",
+                fault.describe(&n)
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_faults_do_not_contaminate() {
+        // The scratch-restore logic must leave no residue between
+        // faults: simulate A, B, then A again.
+        let n = bench::s27();
+        let view = ScanView::natural(&n, true);
+        let patterns = PatternSet::pseudo_random(4, 3, 64, 1);
+        let mut esim = EventFaultSimulator::new(&n, &view, &patterns).unwrap();
+        let a = Fault::stem(n.find_net("G11").unwrap(), false);
+        let b = Fault::stem(n.find_net("G8").unwrap(), true);
+        let first = esim.error_map(&a);
+        let _ = esim.error_map(&b);
+        let again = esim.error_map(&a);
+        assert_eq!(first, again);
+    }
+}

@@ -1,0 +1,296 @@
+//! Single stuck-at faults: sites, enumeration, and equivalence
+//! collapsing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use scan_netlist::{GateId, GateKind, NetId, Netlist};
+
+/// Where a stuck-at fault sits.
+#[derive(Clone, Copy, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum FaultSite {
+    /// On a net's stem: affects every reader of the net.
+    Stem(NetId),
+    /// On one input pin of one gate (a fanout branch): affects only that
+    /// reader.
+    Pin {
+        /// The reading gate.
+        gate: GateId,
+        /// The pin index into the gate's input list.
+        pin: u32,
+    },
+}
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub struct Fault {
+    /// The fault site.
+    pub site: FaultSite,
+    /// The stuck value (`false` = stuck-at-0, `true` = stuck-at-1).
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// A stuck-at fault on a net stem.
+    #[must_use]
+    pub fn stem(net: NetId, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::Stem(net),
+            stuck,
+        }
+    }
+
+    /// A stuck-at fault on a gate input pin.
+    #[must_use]
+    pub fn pin(gate: GateId, pin: u32, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::Pin { gate, pin },
+            stuck,
+        }
+    }
+
+    /// Renders the fault against its netlist (e.g. `G10/SA0`).
+    #[must_use]
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        let sa = if self.stuck { "SA1" } else { "SA0" };
+        match self.site {
+            FaultSite::Stem(net) => format!("{}/{sa}", netlist.net_name(net)),
+            FaultSite::Pin { gate, pin } => {
+                let g = netlist.gate(gate);
+                format!(
+                    "{}.pin{}({})/{sa}",
+                    netlist.net_name(g.output),
+                    pin,
+                    netlist.net_name(g.inputs[pin as usize]),
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sa = if self.stuck { "SA1" } else { "SA0" };
+        match self.site {
+            FaultSite::Stem(net) => write!(f, "{net}/{sa}"),
+            FaultSite::Pin { gate, pin } => write!(f, "{gate}.pin{pin}/{sa}"),
+        }
+    }
+}
+
+/// The set of single stuck-at faults considered for a circuit.
+#[derive(Clone, Debug)]
+pub struct FaultUniverse {
+    faults: Vec<Fault>,
+}
+
+impl FaultUniverse {
+    /// Every structural fault: stuck-at-0/1 on every net stem, plus
+    /// stuck-at-0/1 on every input pin whose net has fanout greater than
+    /// one (fanout branches). Pins on single-fanout nets are identical
+    /// to the stem fault and are not duplicated.
+    #[must_use]
+    pub fn all(netlist: &Netlist) -> Self {
+        let mut faults = Vec::new();
+        for net in netlist.net_ids() {
+            faults.push(Fault::stem(net, false));
+            faults.push(Fault::stem(net, true));
+        }
+        for gid in netlist.gate_ids() {
+            let gate = netlist.gate(gid);
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if netlist.fanout_count(input) > 1 {
+                    faults.push(Fault::pin(gid, pin as u32, false));
+                    faults.push(Fault::pin(gid, pin as u32, true));
+                }
+            }
+        }
+        FaultUniverse { faults }
+    }
+
+    /// The equivalence-collapsed fault list.
+    ///
+    /// Collapsing rules (classical gate-level equivalence):
+    ///
+    /// * NOT/BUF: an input stem fault is equivalent to the corresponding
+    ///   output fault (inverted value for NOT), provided the input net
+    ///   has a single fanout.
+    /// * AND/NAND: a controlling (stuck-at-0) input fault is equivalent
+    ///   to the output stuck-at-0 (AND) / stuck-at-1 (NAND); same for
+    ///   OR/NOR with stuck-at-1 inputs. Again only for single-fanout
+    ///   inputs.
+    ///
+    /// Branch (pin) faults never collapse across the gate.
+    #[must_use]
+    pub fn collapsed(netlist: &Netlist) -> Self {
+        // forward: (net, value) stem fault → equivalent (net, value)
+        // further downstream.
+        let mut forward: HashMap<(NetId, bool), (NetId, bool)> = HashMap::new();
+        for gid in netlist.gate_ids() {
+            let gate = netlist.gate(gid);
+            for &input in &gate.inputs {
+                if netlist.fanout_count(input) != 1 {
+                    continue;
+                }
+                match gate.kind {
+                    GateKind::Not | GateKind::Buf => {
+                        let inv = gate.kind == GateKind::Not;
+                        forward.insert((input, false), (gate.output, inv));
+                        forward.insert((input, true), (gate.output, !inv));
+                    }
+                    _ => {
+                        if let Some(c) = gate.kind.controlling_value() {
+                            let out_value = c ^ gate.kind.is_inverting();
+                            forward.insert((input, c), (gate.output, out_value));
+                        }
+                    }
+                }
+            }
+        }
+        let resolve = |mut key: (NetId, bool)| {
+            // Chains are acyclic (they follow combinational paths), so
+            // this terminates.
+            while let Some(&next) = forward.get(&key) {
+                key = next;
+            }
+            key
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut faults = Vec::new();
+        for fault in FaultUniverse::all(netlist).faults {
+            match fault.site {
+                FaultSite::Stem(net) => {
+                    let rep = resolve((net, fault.stuck));
+                    if seen.insert(rep) {
+                        faults.push(Fault::stem(rep.0, rep.1));
+                    }
+                }
+                FaultSite::Pin { .. } => faults.push(fault),
+            }
+        }
+        FaultUniverse { faults }
+    }
+
+    /// The faults in this universe.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Returns `true` if the fault site drives anything observable at all
+/// (stems on dangling nets are undetectable by construction).
+#[must_use]
+pub fn site_has_fanout(netlist: &Netlist, fault: &Fault) -> bool {
+    match fault.site {
+        FaultSite::Stem(net) => {
+            !netlist.fanout(net).is_empty()
+                || netlist.outputs().contains(&net)
+                || netlist.dffs().iter().any(|d| d.d == net)
+        }
+        FaultSite::Pin { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_netlist::bench;
+
+    #[test]
+    fn all_faults_cover_stems_and_branches() {
+        let n = bench::s27();
+        let u = FaultUniverse::all(&n);
+        // Every net contributes two stem faults.
+        assert!(u.len() >= 2 * n.num_nets());
+        // s27 has fanout stems (e.g. G8 feeds G15 and G16), so branch
+        // faults exist.
+        assert!(u
+            .faults()
+            .iter()
+            .any(|f| matches!(f.site, FaultSite::Pin { .. })));
+    }
+
+    #[test]
+    fn collapse_shrinks_universe() {
+        let n = bench::s27();
+        let all = FaultUniverse::all(&n);
+        let col = FaultUniverse::collapsed(&n);
+        assert!(col.len() < all.len());
+        assert!(!col.is_empty());
+    }
+
+    #[test]
+    fn collapse_is_deterministic() {
+        let n = bench::s27();
+        let a = FaultUniverse::collapsed(&n);
+        let b = FaultUniverse::collapsed(&n);
+        assert_eq!(a.faults(), b.faults());
+    }
+
+    #[test]
+    fn not_gate_input_collapses_to_output() {
+        let n = scan_netlist::Netlist::from_bench("inv", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+            .unwrap();
+        let col = FaultUniverse::collapsed(&n);
+        let a = n.find_net("a").unwrap();
+        // a/SA0 ≡ y/SA1 and a/SA1 ≡ y/SA0: only y faults remain.
+        assert!(!col
+            .faults()
+            .iter()
+            .any(|f| matches!(f.site, FaultSite::Stem(net) if net == a)));
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn and_controlling_input_collapses() {
+        let n = scan_netlist::Netlist::from_bench(
+            "and2",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+        let col = FaultUniverse::collapsed(&n);
+        let a = n.find_net("a").unwrap();
+        // a/SA0 collapses into y/SA0; a/SA1 remains.
+        let a_faults: Vec<&Fault> = col
+            .faults()
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Stem(net) if net == a))
+            .collect();
+        assert_eq!(a_faults.len(), 1);
+        assert!(a_faults[0].stuck);
+    }
+
+    #[test]
+    fn describe_names_sites() {
+        let n = bench::s27();
+        let g10 = n.find_net("G10").unwrap();
+        let f = Fault::stem(g10, true);
+        assert_eq!(f.describe(&n), "G10/SA1");
+    }
+
+    #[test]
+    fn site_has_fanout_detects_dangles() {
+        let n = scan_netlist::Netlist::from_bench(
+            "dangle",
+            "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\nz = NOT(a)\n",
+        )
+        .unwrap();
+        let z = n.find_net("z").unwrap();
+        assert!(!site_has_fanout(&n, &Fault::stem(z, false)));
+        let y = n.find_net("y").unwrap();
+        assert!(site_has_fanout(&n, &Fault::stem(y, false)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Observed responses and error maps.
+
+use scan_netlist::BitSet;
+
+/// Bit-packed observed values: one row per observation position (scan
+/// cell or primary output, in [`ScanView`](scan_netlist::ScanView)
+/// order), 64 patterns per word.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ResponseMap {
+    num_patterns: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl ResponseMap {
+    /// Creates an all-zero response map.
+    #[must_use]
+    pub fn zeroed(positions: usize, num_patterns: usize) -> Self {
+        ResponseMap {
+            num_patterns,
+            rows: vec![vec![0u64; num_patterns.div_ceil(64)]; positions],
+        }
+    }
+
+    /// Number of observation positions.
+    #[must_use]
+    pub fn num_positions(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The packed word for one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn word(&self, position: usize, word: usize) -> u64 {
+        self.rows[position][word]
+    }
+
+    /// Sets the packed word for one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn set_word(&mut self, position: usize, word: usize, value: u64) {
+        self.rows[position][word] = value;
+    }
+
+    /// The observed bit at (position, pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn bit(&self, position: usize, pattern: usize) -> bool {
+        assert!(pattern < self.num_patterns, "pattern out of range");
+        self.rows[position][pattern / 64] >> (pattern % 64) & 1 != 0
+    }
+
+    /// XORs this map against a reference, yielding the error map
+    /// (`self` is typically the faulty response, `golden` the
+    /// fault-free one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    #[must_use]
+    pub fn xor(&self, golden: &ResponseMap) -> ErrorMap {
+        assert_eq!(self.num_patterns, golden.num_patterns, "pattern counts differ");
+        assert_eq!(self.rows.len(), golden.rows.len(), "position counts differ");
+        let rows = self
+            .rows
+            .iter()
+            .zip(&golden.rows)
+            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x ^ y).collect())
+            .collect();
+        ErrorMap {
+            inner: ResponseMap {
+                num_patterns: self.num_patterns,
+                rows,
+            },
+        }
+    }
+}
+
+/// The difference between a faulty and the fault-free response: bit
+/// `(position, pattern)` is set iff the fault flipped that observed
+/// value.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct ErrorMap {
+    inner: ResponseMap,
+}
+
+impl From<ResponseMap> for ErrorMap {
+    /// Interprets an already-differenced bit map as error bits (used by
+    /// engines that accumulate diffs directly instead of XOR-ing two
+    /// full responses).
+    fn from(inner: ResponseMap) -> Self {
+        ErrorMap { inner }
+    }
+}
+
+impl ErrorMap {
+    /// An error map with no errors (used for fault-free references).
+    #[must_use]
+    pub fn empty(positions: usize, num_patterns: usize) -> Self {
+        ErrorMap {
+            inner: ResponseMap::zeroed(positions, num_patterns),
+        }
+    }
+
+    /// Builds an error map from explicit error bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is out of range.
+    #[must_use]
+    pub fn from_bits<I>(positions: usize, num_patterns: usize, bits: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut inner = ResponseMap::zeroed(positions, num_patterns);
+        for (pos, pat) in bits {
+            assert!(pat < num_patterns, "pattern out of range");
+            let w = inner.rows[pos][pat / 64] | 1 << (pat % 64);
+            inner.rows[pos][pat / 64] = w;
+        }
+        ErrorMap { inner }
+    }
+
+    /// Number of observation positions.
+    #[must_use]
+    pub fn num_positions(&self) -> usize {
+        self.inner.num_positions()
+    }
+
+    /// Number of patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.inner.num_patterns()
+    }
+
+    /// Whether the error bit at (position, pattern) is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    #[must_use]
+    pub fn bit(&self, position: usize, pattern: usize) -> bool {
+        self.inner.bit(position, pattern)
+    }
+
+    /// Returns `true` if the fault produced at least one error.
+    #[must_use]
+    pub fn is_detected(&self) -> bool {
+        self.inner.rows.iter().flatten().any(|&w| w != 0)
+    }
+
+    /// Total number of error bits.
+    #[must_use]
+    pub fn num_error_bits(&self) -> usize {
+        self.inner
+            .rows
+            .iter()
+            .flatten()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The failing positions: every observation point that captured at
+    /// least one error.
+    #[must_use]
+    pub fn failing_positions(&self) -> BitSet {
+        let mut set = BitSet::new(self.num_positions());
+        for (pos, row) in self.inner.rows.iter().enumerate() {
+            if row.iter().any(|&w| w != 0) {
+                set.insert(pos);
+            }
+        }
+        set
+    }
+
+    /// Iterates over all error bits as `(position, pattern)` pairs, in
+    /// position-major order.
+    pub fn iter_bits(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.inner.rows.iter().enumerate().flat_map(|(pos, row)| {
+            row.iter().enumerate().flat_map(move |(w, &word)| {
+                BitLanes(word).map(move |lane| (pos, w * 64 + lane))
+            })
+        })
+    }
+
+    /// Iterates over the error patterns of one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn errors_at(&self, position: usize) -> impl Iterator<Item = usize> + '_ {
+        self.inner.rows[position]
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| BitLanes(word).map(move |lane| w * 64 + lane))
+    }
+}
+
+struct BitLanes(u64);
+
+impl Iterator for BitLanes {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let lane = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(lane)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_produces_error_map() {
+        let mut faulty = ResponseMap::zeroed(3, 70);
+        let golden = ResponseMap::zeroed(3, 70);
+        faulty.set_word(1, 0, 0b101);
+        faulty.set_word(2, 1, 1 << 5);
+        let err = faulty.xor(&golden);
+        assert!(err.is_detected());
+        assert_eq!(err.num_error_bits(), 3);
+        assert_eq!(
+            err.iter_bits().collect::<Vec<_>>(),
+            vec![(1, 0), (1, 2), (2, 69)]
+        );
+        assert_eq!(err.failing_positions().iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = vec![(0usize, 0usize), (4, 63), (4, 64), (7, 99)];
+        let err = ErrorMap::from_bits(8, 100, bits.clone());
+        assert_eq!(err.iter_bits().collect::<Vec<_>>(), bits);
+        assert_eq!(err.errors_at(4).collect::<Vec<_>>(), vec![63, 64]);
+        assert!(err.bit(7, 99));
+        assert!(!err.bit(7, 98));
+    }
+
+    #[test]
+    fn empty_map_undetected() {
+        let err = ErrorMap::empty(5, 10);
+        assert!(!err.is_detected());
+        assert_eq!(err.num_error_bits(), 0);
+        assert!(err.failing_positions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern counts differ")]
+    fn shape_mismatch_panics() {
+        let a = ResponseMap::zeroed(2, 10);
+        let b = ResponseMap::zeroed(2, 20);
+        let _ = a.xor(&b);
+    }
+}

@@ -1,0 +1,227 @@
+//! Sequential (multi-cycle) simulation.
+//!
+//! The scan-BIST flow treats every pattern independently (scan load →
+//! one capture), so the core engines are combinational. This module
+//! adds true sequential simulation — state carried across clock cycles
+//! — which (a) validates the flip-flop capture semantics the full-scan
+//! model assumes, and (b) lets users run functional stimulus on the
+//! same netlists.
+
+use scan_netlist::Netlist;
+
+use crate::fault::Fault;
+use crate::pattern::PatternSet;
+use crate::simulator::Simulator;
+
+/// A cycle-by-cycle simulator carrying flip-flop state.
+///
+/// # Examples
+///
+/// ```
+/// use scan_netlist::bench;
+/// use scan_sim::SequentialSimulator;
+///
+/// let s27 = bench::s27();
+/// let mut sim = SequentialSimulator::new(&s27);
+/// sim.reset(&[false, false, false]);
+/// let outputs = sim.step(&[true, false, true, false], None);
+/// assert_eq!(outputs.len(), 1); // one PO
+/// ```
+#[derive(Clone, Debug)]
+pub struct SequentialSimulator<'a> {
+    netlist: &'a Netlist,
+    state: Vec<bool>,
+}
+
+impl<'a> SequentialSimulator<'a> {
+    /// Creates a simulator with all flip-flops reset to 0.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        SequentialSimulator {
+            netlist,
+            state: vec![false; netlist.num_dffs()],
+        }
+    }
+
+    /// Forces the flip-flop state (e.g. a scan load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have one bit per flip-flop.
+    pub fn reset(&mut self, state: &[bool]) {
+        assert_eq!(
+            state.len(),
+            self.netlist.num_dffs(),
+            "one state bit per flip-flop"
+        );
+        self.state.copy_from_slice(state);
+    }
+
+    /// Current flip-flop state, in declaration order.
+    #[must_use]
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Applies one clock cycle: evaluates the combinational logic under
+    /// `pi` and the current state, returns the primary output values,
+    /// and latches the next state. An optional stuck-at `fault` is
+    /// injected (persistently, as a hardware defect would be).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` does not have one bit per primary input.
+    pub fn step(&mut self, pi: &[bool], fault: Option<&Fault>) -> Vec<bool> {
+        assert_eq!(
+            pi.len(),
+            self.netlist.num_inputs(),
+            "one bit per primary input"
+        );
+        // Reuse the bit-parallel evaluator with a single lane.
+        let mut pi_iter = pi.iter();
+        let mut st_iter = self.state.iter();
+        let patterns = PatternSet::from_bit_stream(
+            self.netlist.num_inputs(),
+            self.netlist.num_dffs(),
+            1,
+            || {
+                if let Some(&b) = st_iter.next() {
+                    b
+                } else {
+                    *pi_iter.next().expect("enough stimulus bits")
+                }
+            },
+        );
+        let sim = Simulator::new(self.netlist, &patterns).expect("shapes match by construction");
+        let mut values = vec![0u64; self.netlist.num_nets()];
+        sim.eval_word(0, fault, &mut values);
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|&net| values[net.index()] & 1 != 0)
+            .collect();
+        for (slot, dff) in self.state.iter_mut().zip(self.netlist.dffs()) {
+            *slot = values[dff.d.index()] & 1 != 0;
+        }
+        outputs
+    }
+
+    /// Runs a stimulus sequence, returning the PO vectors per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cycle's stimulus is mis-sized.
+    pub fn run(&mut self, stimuli: &[Vec<bool>], fault: Option<&Fault>) -> Vec<Vec<bool>> {
+        stimuli.iter().map(|pi| self.step(pi, fault)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_netlist::{bench, GateKind, NetlistBuilder};
+
+    /// A 2-bit synchronous counter with a carry output.
+    fn counter2() -> Netlist {
+        let mut b = NetlistBuilder::new("cnt2");
+        b.input("en");
+        b.dff("q0", "d0");
+        b.dff("q1", "d1");
+        // d0 = q0 XOR en; d1 = q1 XOR (q0 AND en); carry = q1 AND q0 AND en
+        b.gate(GateKind::Xor, "d0", &["q0", "en"]);
+        b.gate(GateKind::And, "t", &["q0", "en"]);
+        b.gate(GateKind::Xor, "d1", &["q1", "t"]);
+        b.gate(GateKind::And, "c0", &["q1", "t"]);
+        b.gate(GateKind::Buf, "carry", &["c0"]);
+        b.output("carry");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let n = counter2();
+        let mut sim = SequentialSimulator::new(&n);
+        sim.reset(&[false, false]);
+        let mut states = Vec::new();
+        for _ in 0..5 {
+            sim.step(&[true], None);
+            states.push((sim.state()[0], sim.state()[1]));
+        }
+        assert_eq!(
+            states,
+            vec![
+                (true, false),  // 1
+                (false, true),  // 2
+                (true, true),   // 3
+                (false, false), // 0 (wrapped)
+                (true, false),  // 1
+            ]
+        );
+    }
+
+    #[test]
+    fn carry_fires_on_wrap() {
+        let n = counter2();
+        let mut sim = SequentialSimulator::new(&n);
+        sim.reset(&[true, true]); // state 3
+        let out = sim.step(&[true], None);
+        assert!(out[0], "carry must assert when counting past 3");
+        assert_eq!(sim.state(), &[false, false]);
+    }
+
+    #[test]
+    fn disabled_counter_holds() {
+        let n = counter2();
+        let mut sim = SequentialSimulator::new(&n);
+        sim.reset(&[true, false]);
+        sim.step(&[false], None);
+        assert_eq!(sim.state(), &[true, false]);
+    }
+
+    #[test]
+    fn sequential_step_matches_full_scan_capture() {
+        // One sequential step from a forced state equals the full-scan
+        // model's capture for the same (state, PI) pattern.
+        let n = bench::s27();
+        let view = scan_netlist::ScanView::natural(&n, true);
+        let state = [true, false, true];
+        let pi = [false, true, true, false];
+        let mut st_iter = state.iter();
+        let mut pi_iter = pi.iter();
+        let patterns = PatternSet::from_bit_stream(4, 3, 1, || {
+            if let Some(&b) = st_iter.next() {
+                b
+            } else {
+                *pi_iter.next().unwrap()
+            }
+        });
+        let fsim = crate::FaultSimulator::new(&n, &view, &patterns).unwrap();
+
+        let mut seq = SequentialSimulator::new(&n);
+        seq.reset(&state);
+        let outputs = seq.step(&pi, None);
+        // Captured next state == observed cell values.
+        for (ff, &bit) in seq.state().iter().enumerate() {
+            assert_eq!(fsim.golden().bit(ff, 0), bit, "cell {ff}");
+        }
+        // PO values match the view's output positions.
+        assert_eq!(fsim.golden().bit(3, 0), outputs[0]);
+    }
+
+    #[test]
+    fn persistent_fault_corrupts_over_time() {
+        let n = counter2();
+        let q0 = n.find_net("q0").unwrap();
+        let fault = Fault::stem(q0, false); // q0 stuck-at-0
+        let mut good = SequentialSimulator::new(&n);
+        let mut bad = SequentialSimulator::new(&n);
+        good.reset(&[false, false]);
+        bad.reset(&[false, false]);
+        for _ in 0..4 {
+            good.step(&[true], None);
+            bad.step(&[true], Some(&fault));
+        }
+        assert_ne!(good.state(), bad.state(), "stuck counter must diverge");
+    }
+}

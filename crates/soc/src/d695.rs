@@ -1,0 +1,84 @@
+//! The two SOCs evaluated in the paper, built from synthetic stand-ins
+//! for the ISCAS-89 benchmarks (see `scan-netlist::generate` and
+//! `DESIGN.md` §5).
+
+use scan_netlist::generate;
+
+use crate::core_module::CoreModule;
+use crate::error::BuildSocError;
+use crate::meta_chain::Soc;
+
+/// Core order of the paper's first SOC: the six largest ISCAS-89
+/// benchmarks stitched onto a single meta scan chain.
+pub const SOC1_CORES: [&str; 6] = ["s9234", "s13207", "s15850", "s35932", "s38417", "s38584"];
+
+/// Core order of the paper's second SOC (the d695 variant, Fig. 4): the
+/// eight full-scan ISCAS-89 modules of the ITC'02 d695 benchmark,
+/// daisy-chained on an 8-bit TAM.
+pub const D695_CORES: [&str; 8] = [
+    "s838", "s9234", "s5378", "s38584", "s13207", "s38417", "s35932", "s15850",
+];
+
+/// TAM width of the second SOC.
+pub const D695_TAM_WIDTH: usize = 8;
+
+fn cores_for(names: &[&str]) -> Vec<CoreModule> {
+    names
+        .iter()
+        .map(|name| CoreModule::new(generate::benchmark(name)))
+        .collect()
+}
+
+/// Builds the paper's first SOC: six largest ISCAS-89 cores on a single
+/// meta scan chain.
+///
+/// # Errors
+///
+/// Propagates [`BuildSocError`]; cannot fail for the fixed core list in
+/// practice.
+pub fn soc1() -> Result<Soc, BuildSocError> {
+    Soc::single_chain("soc1", cores_for(&SOC1_CORES))
+}
+
+/// Builds the paper's second SOC: the d695 variant with 8 balanced meta
+/// scan chains over an 8-bit TAM.
+///
+/// # Errors
+///
+/// Propagates [`BuildSocError`]; cannot fail for the fixed core list in
+/// practice.
+pub fn soc2() -> Result<Soc, BuildSocError> {
+    Soc::balanced("d695", cores_for(&D695_CORES), D695_TAM_WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc1_is_one_long_chain() {
+        let soc = soc1().unwrap();
+        assert_eq!(soc.num_chains(), 1);
+        assert_eq!(soc.cores().len(), 6);
+        // 6173 FFs + 1071 POs across the six largest benchmarks.
+        assert_eq!(soc.total_positions(), 6173 + 1071);
+    }
+
+    #[test]
+    fn soc2_has_eight_balanced_chains() {
+        let soc = soc2().unwrap();
+        assert_eq!(soc.num_chains(), 8);
+        assert_eq!(soc.cores().len(), 8);
+        let max = soc.max_chain_len();
+        let min = soc.chains().iter().map(Vec::len).min().unwrap();
+        assert!(max - min <= 8, "chains unbalanced: {min}..{max}");
+    }
+
+    #[test]
+    fn soc_cores_resolve_by_name() {
+        let soc = soc1().unwrap();
+        for name in SOC1_CORES {
+            assert!(soc.core_index(name).is_some(), "missing core {name}");
+        }
+    }
+}

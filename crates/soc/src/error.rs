@@ -1,0 +1,37 @@
+//! Error types for SOC construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when building a system-on-chip test structure.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub enum BuildSocError {
+    /// No cores were supplied.
+    NoCores,
+    /// The TAM width is zero or wider than the smallest core view.
+    BadTamWidth {
+        /// The requested width.
+        width: usize,
+    },
+    /// Two cores share a name, making diagnosis reports ambiguous.
+    DuplicateCoreName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildSocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSocError::NoCores => write!(f, "an SOC needs at least one core"),
+            BuildSocError::BadTamWidth { width } => {
+                write!(f, "TAM width {width} is invalid for these cores")
+            }
+            BuildSocError::DuplicateCoreName { name } => {
+                write!(f, "core name `{name}` used more than once")
+            }
+        }
+    }
+}
+
+impl Error for BuildSocError {}

@@ -1,0 +1,43 @@
+//! System-on-chip test access substrate for the scan-BIST diagnosis
+//! workspace.
+//!
+//! Models core-based SOCs tested through a `TestRail` daisy-chain test
+//! access mechanism (TAM):
+//!
+//! * [`CoreModule`] — an embedded core: netlist + full-scan observation
+//!   view;
+//! * [`Soc`] — meta scan chains threading the cores' internal chains,
+//!   either a single chain ([`Soc::single_chain`], the paper's SOC 1)
+//!   or `w` balanced chains over a `w`-bit TAM ([`Soc::balanced`], the
+//!   paper's d695-variant SOC 2);
+//! * [`tam`] — daisy-chain test schedules with bypass accounting;
+//! * [`d695`] — the two concrete SOCs evaluated in the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use scan_soc::d695;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = d695::soc2()?;
+//! assert_eq!(soc.num_chains(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::must_use_candidate, clippy::module_name_repetitions)]
+#![allow(clippy::cast_possible_truncation)]
+
+mod core_module;
+pub mod d695;
+pub mod descriptor;
+mod error;
+mod meta_chain;
+pub mod tam;
+
+pub use core_module::CoreModule;
+pub use descriptor::{ParseSocError, ParseSocErrorKind, SocDescriptor};
+pub use error::BuildSocError;
+pub use meta_chain::{CellRef, Soc};

@@ -1,0 +1,60 @@
+//! Compare the paper's partitioning schemes on one circuit: diagnostic
+//! resolution as the number of partitions grows, for interval-based,
+//! random-selection, fixed-interval, and two-step partitioning.
+//!
+//! ```sh
+//! cargo run --release --example partition_compare [circuit] [faults]
+//! ```
+//!
+//! `circuit` defaults to `s5378`; any ISCAS-89 name works.
+
+use scan_bist_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "s5378".to_owned());
+    let faults: usize = args.next().map_or(Ok(200), |s| s.parse())?;
+
+    let circuit = scan_bist_suite::netlist::generate::benchmark(&name);
+    let mut spec = CampaignSpec::new(128, 8, 8);
+    spec.num_faults = faults;
+    println!(
+        "{name}: {} cells under diagnosis, {} faults, 8 groups, up to 8 partitions",
+        ScanView::natural(&circuit, true).len(),
+        faults
+    );
+    let campaign = PreparedCampaign::from_circuit(&circuit, &spec)?;
+
+    let schemes = [
+        Scheme::IntervalBased,
+        Scheme::RandomSelection,
+        Scheme::FixedInterval,
+        Scheme::TWO_STEP_DEFAULT,
+    ];
+    let reports: Vec<SchemeReport> = schemes
+        .iter()
+        .map(|&s| campaign.run(s))
+        .collect::<Result<_, _>>()?;
+
+    println!();
+    println!(
+        "{:<11} {:>14} {:>17} {:>15} {:>10}",
+        "partitions", "interval-based", "random-selection", "fixed-interval", "two-step"
+    );
+    for k in 0..spec.partitions {
+        println!(
+            "{:<11} {:>14.3} {:>17.3} {:>15.3} {:>10.3}",
+            k + 1,
+            reports[0].dr_by_prefix[k],
+            reports[1].dr_by_prefix[k],
+            reports[2].dr_by_prefix[k],
+            reports[3].dr_by_prefix[k],
+        );
+    }
+    println!();
+    println!(
+        "with pruning after 8 partitions: random {:.3}, two-step {:.3}",
+        reports[1].dr_pruned, reports[3].dr_pruned
+    );
+    Ok(())
+}
