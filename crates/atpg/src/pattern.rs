@@ -1,9 +1,7 @@
 //! Deterministic test patterns (cubes) produced by the generator.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use scan_netlist::Netlist;
+use scan_rng::ScanRng;
 
 use crate::logic::Trit;
 
@@ -43,11 +41,11 @@ impl TestPattern {
     /// returning fully specified PI and state bit vectors.
     #[must_use]
     pub fn x_fill(&self, seed: u64) -> (Vec<bool>, Vec<bool>) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let fill = |t: &Trit, rng: &mut StdRng| match t {
+        let mut rng = ScanRng::seed_from_u64(seed);
+        let fill = |t: &Trit, rng: &mut ScanRng| match t {
             Trit::Zero => false,
             Trit::One => true,
-            Trit::X => rng.gen(),
+            Trit::X => rng.next_bool(),
         };
         let pi = self.pi.iter().map(|t| fill(t, &mut rng)).collect();
         let state = self.state.iter().map(|t| fill(t, &mut rng)).collect();

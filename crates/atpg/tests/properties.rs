@@ -1,8 +1,8 @@
 //! Property-based tests for the ATPG crate: every generated cube is a
 //! real test, five-valued logic laws hold, and X-fill never violates
-//! assignments.
+//! assignments. Runs on the in-workspace shrink-free harness.
 
-use proptest::prelude::*;
+use scan_rng::testkit::Runner;
 
 use scan_atpg::logic::{eval_gate, Trit, V5};
 use scan_atpg::{single_pattern_set, Podem, PodemLimits, PodemResult};
@@ -19,17 +19,14 @@ fn good_bool(v: V5, pick: bool) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Five-valued gate evaluation is consistent with boolean
-    /// evaluation on the good machine whenever inputs are known.
-    #[test]
-    fn v5_consistent_with_boolean(
-        kind_idx in 0usize..8,
-        vals in prop::collection::vec(0u8..4, 1..4),
-        pick in any::<bool>(),
-    ) {
+/// Five-valued gate evaluation is consistent with boolean evaluation
+/// on the good machine whenever inputs are known.
+#[test]
+fn v5_consistent_with_boolean() {
+    Runner::new(256).run("v5_consistent_with_boolean", |g| {
+        let kind_idx = g.usize("kind_idx", 0, 7);
+        let vals = g.vec("vals", 1, 3, |r| r.gen_index(4) as u8);
+        let pick = g.bool("pick");
         let kind = GateKind::ALL[kind_idx];
         let v5s: Vec<V5> = vals
             .iter()
@@ -40,19 +37,28 @@ proptest! {
                 _ => V5::DBar,
             })
             .collect();
-        let v5s = if kind.is_unary() { vec![v5s[0]] } else if v5s.len() < 2 { vec![v5s[0], v5s[0]] } else { v5s };
+        let v5s = if kind.is_unary() {
+            vec![v5s[0]]
+        } else if v5s.len() < 2 {
+            vec![v5s[0], v5s[0]]
+        } else {
+            v5s
+        };
         let out = eval_gate(kind, &v5s);
         // Good machine booleans.
         let bools: Vec<bool> = v5s.iter().map(|&v| good_bool(v, pick)).collect();
         let expected = kind.eval_bools(&bools);
-        prop_assert_eq!(good_bool(out, pick), expected);
-    }
+        assert_eq!(good_bool(out, pick), expected);
+    });
+}
 
-    /// Every cube PODEM produces for a sampled fault of a random
-    /// synthetic circuit is verified as a test by the independent
-    /// simulator.
-    #[test]
-    fn podem_cubes_always_verify(seed in 0u64..10, fill_seed in 0u64..8) {
+/// Every cube PODEM produces for a sampled fault of a random synthetic
+/// circuit is verified as a test by the independent simulator.
+#[test]
+fn podem_cubes_always_verify() {
+    Runner::new(32).run("podem_cubes_always_verify", |g| {
+        let seed = g.u64("seed", 0, 9);
+        let fill_seed = g.u64("fill_seed", 0, 7);
         let p = profile("s344").unwrap();
         let netlist = generate_with(p, seed, &GeneratorConfig::default());
         let view = ScanView::natural(&netlist, true);
@@ -63,18 +69,21 @@ proptest! {
                 let (pi, state) = cube.x_fill(fill_seed);
                 let pattern_set = single_pattern_set(&netlist, &pi, &state);
                 let fsim = FaultSimulator::new(&netlist, &view, &pattern_set).unwrap();
-                prop_assert!(
+                assert!(
                     fsim.is_detected(fault),
                     "cube fails for {}",
                     fault.describe(&netlist)
                 );
             }
         }
-    }
+    });
+}
 
-    /// X-fill preserves every specified bit of the cube.
-    #[test]
-    fn x_fill_preserves_assignments(seed in 0u64..20) {
+/// X-fill preserves every specified bit of the cube.
+#[test]
+fn x_fill_preserves_assignments() {
+    Runner::new(32).run("x_fill_preserves_assignments", |g| {
+        let seed = g.u64("seed", 0, 19);
         let netlist = scan_netlist::bench::s27();
         let mut podem = Podem::new(&netlist);
         let universe = FaultUniverse::collapsed(&netlist);
@@ -83,19 +92,19 @@ proptest! {
                 let (pi, state) = cube.x_fill(seed);
                 for (bit, trit) in pi.iter().zip(&cube.pi) {
                     match trit {
-                        Trit::One => prop_assert!(*bit),
-                        Trit::Zero => prop_assert!(!*bit),
+                        Trit::One => assert!(*bit),
+                        Trit::Zero => assert!(!*bit),
                         Trit::X => {}
                     }
                 }
                 for (bit, trit) in state.iter().zip(&cube.state) {
                     match trit {
-                        Trit::One => prop_assert!(*bit),
-                        Trit::Zero => prop_assert!(!*bit),
+                        Trit::One => assert!(*bit),
+                        Trit::Zero => assert!(!*bit),
                         Trit::X => {}
                     }
                 }
             }
         }
-    }
+    });
 }

@@ -1,29 +1,24 @@
 //! Benchmarks for the ATPG substrate: single-fault PODEM, the full
 //! fault-dropping run, and SCOAP computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use scan_atpg::{run_atpg, Podem, PodemLimits};
+use scan_bench::timing::Bench;
 use scan_netlist::generate;
 use scan_netlist::scoap::Scoap;
 use scan_sim::FaultUniverse;
 
-fn bench_scoap(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scoap");
-    group.sample_size(20);
+fn bench_scoap(b: &Bench) {
     for name in ["s953", "s5378", "s13207"] {
         let circuit = generate::benchmark(name);
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(Scoap::compute(&circuit)));
+        b.run(&format!("scoap_{name}"), || {
+            black_box(Scoap::compute(&circuit))
         });
     }
-    group.finish();
 }
 
-fn bench_podem_single_faults(c: &mut Criterion) {
-    let mut group = c.benchmark_group("podem_single_faults");
-    group.sample_size(10);
+fn bench_podem_single_faults(b: &Bench) {
     for name in ["s298", "s953"] {
         let circuit = generate::benchmark(name);
         let faults: Vec<_> = FaultUniverse::collapsed(&circuit)
@@ -33,39 +28,32 @@ fn bench_podem_single_faults(c: &mut Criterion) {
             .step_by(13)
             .take(32)
             .collect();
-        group.bench_function(format!("{name}_32_faults"), |b| {
-            b.iter(|| {
-                let mut podem = Podem::new(&circuit);
-                let mut tests = 0usize;
-                for fault in &faults {
-                    if matches!(
-                        podem.generate(fault, &PodemLimits::default()),
-                        scan_atpg::PodemResult::Test(_)
-                    ) {
-                        tests += 1;
-                    }
+        b.run(&format!("podem_{name}_32_faults"), || {
+            let mut podem = Podem::new(&circuit);
+            let mut tests = 0usize;
+            for fault in &faults {
+                if matches!(
+                    podem.generate(fault, &PodemLimits::default()),
+                    scan_atpg::PodemResult::Test(_)
+                ) {
+                    tests += 1;
                 }
-                black_box(tests)
-            });
+            }
+            black_box(tests)
         });
     }
-    group.finish();
 }
 
-fn bench_full_atpg_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_atpg");
-    group.sample_size(10);
+fn bench_full_atpg_run(b: &Bench) {
     let circuit = generate::benchmark("s298");
-    group.bench_function("s298_with_fault_dropping", |b| {
-        b.iter(|| black_box(run_atpg(&circuit, &PodemLimits::default(), 1)));
+    b.run("full_atpg_s298_with_fault_dropping", || {
+        black_box(run_atpg(&circuit, &PodemLimits::default(), 1))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scoap,
-    bench_podem_single_faults,
-    bench_full_atpg_run
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new("atpg", 10);
+    bench_scoap(&b);
+    bench_podem_single_faults(&b);
+    bench_full_atpg_run(&b);
+}

@@ -1,46 +1,33 @@
 //! Microbenchmarks for the BIST primitives: LFSR stepping, stepwise
 //! MISR clocking, and superposition error-signature computation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use scan_bench::timing::Bench;
 use scan_bist::{Lfsr, Misr, MisrModel};
 
-fn bench_lfsr_step(c: &mut Criterion) {
-    c.bench_function("lfsr16_step_64k", |b| {
-        b.iter_batched(
-            || {
-                let mut l = Lfsr::new(16).expect("degree supported");
-                l.load(0xACE1);
-                l
-            },
-            |mut l| {
-                for _ in 0..65_536 {
-                    black_box(l.step());
-                }
-                l.state()
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_lfsr_step(b: &Bench) {
+    b.run("lfsr16_step_64k", || {
+        let mut l = Lfsr::new(16).expect("degree supported");
+        l.load(0xACE1);
+        for _ in 0..65_536 {
+            black_box(l.step());
+        }
+        l.state()
     });
 }
 
-fn bench_misr_clock(c: &mut Criterion) {
-    c.bench_function("misr16_clock_64k", |b| {
-        b.iter_batched(
-            || Misr::new(16).expect("degree supported"),
-            |mut m| {
-                for i in 0u64..65_536 {
-                    m.clock(i & 1);
-                }
-                m.signature()
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_misr_clock(b: &Bench) {
+    b.run("misr16_clock_64k", || {
+        let mut m = Misr::new(16).expect("degree supported");
+        for i in 0u64..65_536 {
+            m.clock(i & 1);
+        }
+        m.signature()
     });
 }
 
-fn bench_superposition_signature(c: &mut Criterion) {
+fn bench_superposition_signature(b: &Bench) {
     let model = MisrModel::new(16).expect("degree supported");
     // A sparse error stream typical of one clustered fault: ~1000 error
     // bits over a 128-pattern, 1700-cell session.
@@ -48,23 +35,22 @@ fn bench_superposition_signature(c: &mut Criterion) {
     let bits: Vec<(u64, u32)> = (0..1000u64)
         .map(|i| ((i * 217) % total_clocks, 0u32))
         .collect();
-    c.bench_function("superposition_signature_1k_bits", |b| {
-        b.iter(|| black_box(model.signature(total_clocks, bits.iter().copied())));
+    b.run("superposition_signature_1k_bits", || {
+        black_box(model.signature(total_clocks, bits.iter().copied()))
     });
 }
 
-fn bench_x_pow_mod(c: &mut Criterion) {
+fn bench_x_pow_mod(b: &Bench) {
     let model = MisrModel::new(16).expect("degree supported");
-    c.bench_function("x_pow_mod_large_exponent", |b| {
-        b.iter(|| black_box(model.x_pow_mod(black_box(123_456_789))));
+    b.run("x_pow_mod_large_exponent", || {
+        black_box(model.x_pow_mod(black_box(123_456_789)))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_lfsr_step,
-    bench_misr_clock,
-    bench_superposition_signature,
-    bench_x_pow_mod
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new("bist", 30);
+    bench_lfsr_step(&b);
+    bench_misr_clock(&b);
+    bench_superposition_signature(&b);
+    bench_x_pow_mod(&b);
+}

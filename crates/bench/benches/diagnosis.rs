@@ -2,9 +2,9 @@
 //! candidate intersection, and pruning for one fault, plus the
 //! per-scheme ablation the paper's comparison rests on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use scan_bench::timing::Bench;
 use scan_bist::Scheme;
 use scan_diagnosis::{
     diagnose, lfsr_patterns, prune_by_cover, BistConfig, ChainLayout, DiagnosisPlan,
@@ -21,33 +21,26 @@ fn prepared_error_map() -> (usize, ErrorMap) {
     (view.len(), fsim.error_map(&fault))
 }
 
-fn bench_plan_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plan_construction");
-    group.sample_size(20);
+fn bench_plan_construction(b: &Bench) {
     for (label, scheme) in [
         ("random", Scheme::RandomSelection),
         ("two_step", Scheme::TWO_STEP_DEFAULT),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(
-                    DiagnosisPlan::new(
-                        ChainLayout::single_chain(228),
-                        128,
-                        &BistConfig::new(8, 8, scheme),
-                    )
-                    .expect("plan builds"),
+        b.run(&format!("plan_construction_{label}"), || {
+            black_box(
+                DiagnosisPlan::new(
+                    ChainLayout::single_chain(228),
+                    128,
+                    &BistConfig::new(8, 8, scheme),
                 )
-            });
+                .expect("plan builds"),
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_single_fault_diagnosis(c: &mut Criterion) {
+fn bench_single_fault_diagnosis(b: &Bench) {
     let (chain_len, errors) = prepared_error_map();
-    let mut group = c.benchmark_group("single_fault_diagnosis_s5378");
-    group.sample_size(30);
     for (label, scheme) in [
         ("random", Scheme::RandomSelection),
         ("interval", Scheme::IntervalBased),
@@ -59,17 +52,17 @@ fn bench_single_fault_diagnosis(c: &mut Criterion) {
             &BistConfig::new(8, 8, scheme),
         )
         .expect("plan builds");
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let outcome = plan.analyze(errors.iter_bits());
-                let diag = diagnose(&plan, &outcome);
-                let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
-                black_box((diag.num_candidates(), pruned.len()))
-            });
+        b.run(&format!("single_fault_diagnosis_s5378_{label}"), || {
+            let outcome = plan.analyze(errors.iter_bits());
+            let diag = diagnose(&plan, &outcome);
+            let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
+            black_box((diag.num_candidates(), pruned.len()))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_plan_construction, bench_single_fault_diagnosis);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new("diagnosis", 30);
+    bench_plan_construction(&b);
+    bench_single_fault_diagnosis(&b);
+}

@@ -1,43 +1,29 @@
 //! Benchmarks for the simulation substrate: golden response evaluation
 //! and per-fault error-map extraction at two circuit scales.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use scan_bench::timing::Bench;
 use scan_diagnosis::lfsr_patterns;
-use scan_netlist::{generate, Netlist, ScanView};
+use scan_netlist::{generate, ScanView};
 use scan_sim::{FaultSimulator, FaultUniverse};
 
-fn circuit_setup(name: &str, patterns: usize) -> (Netlist, usize) {
-    let circuit = generate::benchmark(name);
-    (circuit, patterns)
-}
-
-fn bench_golden_response(c: &mut Criterion) {
-    let mut group = c.benchmark_group("golden_response");
-    group.sample_size(20);
+fn bench_golden_response(b: &Bench) {
     for name in ["s953", "s5378", "s13207"] {
-        let (circuit, num_patterns) = circuit_setup(name, 128);
+        let circuit = generate::benchmark(name);
         let view = ScanView::natural(&circuit, true);
-        let patterns = lfsr_patterns(&circuit, num_patterns, 0xACE1);
-        group.bench_function(format!("{name}_128_patterns"), |b| {
-            b.iter(|| {
-                black_box(
-                    FaultSimulator::new(&circuit, &view, &patterns).expect("shapes match"),
-                )
-            });
+        let patterns = lfsr_patterns(&circuit, 128, 0xACE1);
+        b.run(&format!("golden_response_{name}_128_patterns"), || {
+            black_box(FaultSimulator::new(&circuit, &view, &patterns).expect("shapes match"))
         });
     }
-    group.finish();
 }
 
-fn bench_fault_error_maps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fault_error_maps");
-    group.sample_size(10);
+fn bench_fault_error_maps(b: &Bench) {
     for name in ["s953", "s5378"] {
-        let (circuit, num_patterns) = circuit_setup(name, 128);
+        let circuit = generate::benchmark(name);
         let view = ScanView::natural(&circuit, true);
-        let patterns = lfsr_patterns(&circuit, num_patterns, 0xACE1);
+        let patterns = lfsr_patterns(&circuit, 128, 0xACE1);
         let fsim = FaultSimulator::new(&circuit, &view, &patterns).expect("shapes match");
         let faults: Vec<_> = FaultUniverse::collapsed(&circuit)
             .faults()
@@ -45,20 +31,20 @@ fn bench_fault_error_maps(c: &mut Criterion) {
             .copied()
             .take(64)
             .collect();
-        group.bench_function(format!("{name}_64_faults"), |b| {
-            b.iter(|| {
-                let mut detected = 0usize;
-                for fault in &faults {
-                    if fsim.error_map(fault).is_detected() {
-                        detected += 1;
-                    }
+        b.run(&format!("error_maps_{name}_64_faults"), || {
+            let mut detected = 0usize;
+            for fault in &faults {
+                if fsim.error_map(fault).is_detected() {
+                    detected += 1;
                 }
-                black_box(detected)
-            });
+            }
+            black_box(detected)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_golden_response, bench_fault_error_maps);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new("fault_sim", 10);
+    bench_golden_response(&b);
+    bench_fault_error_maps(&b);
+}

@@ -2,9 +2,9 @@
 //! derivation, interval covering-seed search, and the combined two-step
 //! plan at both circuit and SOC scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use scan_bench::timing::Bench;
 use scan_bist::partition::{
     fixed_interval_partition, generate_partitions, interval_partition, PartitionConfig,
 };
@@ -14,49 +14,28 @@ fn config(chain_len: usize, groups: u16) -> PartitionConfig {
     PartitionConfig::new(chain_len, groups)
 }
 
-fn bench_random_selection(c: &mut Criterion) {
-    c.bench_function("random_selection_8x_s5378_chain", |b| {
-        let cfg = config(228, 8); // s5378 view: 179 FFs + 49 POs
-        b.iter(|| black_box(generate_partitions(&cfg, Scheme::RandomSelection, 8)));
+fn main() {
+    let b = Bench::new("partitioning", 20);
+
+    let cfg = config(228, 8); // s5378 view: 179 FFs + 49 POs
+    b.run("random_selection_8x_s5378_chain", || {
+        black_box(generate_partitions(&cfg, Scheme::RandomSelection, 8))
+    });
+
+    b.run("interval_seed_search_chain_228_groups_8", || {
+        black_box(interval_partition(&cfg, 0).expect("cover exists"))
+    });
+
+    let soc_cfg = config(7244, 32);
+    b.run("interval_seed_search_soc1_chain_7244_groups_32", || {
+        black_box(interval_partition(&soc_cfg, 0).expect("cover exists"))
+    });
+
+    b.run("two_step_plan_soc1_8_partitions", || {
+        black_box(generate_partitions(&soc_cfg, Scheme::TWO_STEP_DEFAULT, 8))
+    });
+
+    b.run("fixed_interval_soc1", || {
+        black_box(fixed_interval_partition(&soc_cfg))
     });
 }
-
-fn bench_interval_seed_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval_seed_search");
-    group.sample_size(20);
-    group.bench_function("chain_228_groups_8", |b| {
-        let cfg = config(228, 8);
-        b.iter(|| black_box(interval_partition(&cfg, 0).expect("cover exists")));
-    });
-    group.bench_function("soc1_chain_7244_groups_32", |b| {
-        let cfg = config(7244, 32);
-        b.iter(|| black_box(interval_partition(&cfg, 0).expect("cover exists")));
-    });
-    group.finish();
-}
-
-fn bench_two_step_plan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("two_step_plan");
-    group.sample_size(20);
-    group.bench_function("soc1_8_partitions", |b| {
-        let cfg = config(7244, 32);
-        b.iter(|| black_box(generate_partitions(&cfg, Scheme::TWO_STEP_DEFAULT, 8)));
-    });
-    group.finish();
-}
-
-fn bench_fixed_interval(c: &mut Criterion) {
-    c.bench_function("fixed_interval_soc1", |b| {
-        let cfg = config(7244, 32);
-        b.iter(|| black_box(fixed_interval_partition(&cfg)));
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_random_selection,
-    bench_interval_seed_search,
-    bench_two_step_plan,
-    bench_fixed_interval
-);
-criterion_main!(benches);

@@ -1,41 +1,50 @@
 //! Benchmarks for the SOC pipeline: SOC construction, campaign
 //! preparation (pattern generation + fault sampling + error maps), and
-//! meta-chain diagnosis of one fault on the paper's SOC 1.
+//! meta-chain diagnosis of one fault on the paper's SOC 1 — including
+//! the serial-vs-parallel campaign comparison the `parallel` module
+//! exists for.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use scan_bench::timing::Bench;
 use scan_bist::Scheme;
 use scan_diagnosis::{diagnose, CampaignSpec, ChainLayout, DiagnosisPlan, PreparedCampaign};
 use scan_sim::FaultSimulator;
 use scan_soc::d695;
 
-fn bench_soc_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("soc_construction");
-    group.sample_size(10);
-    group.bench_function("soc1_six_largest", |b| {
-        b.iter(|| black_box(d695::soc1().expect("SOC 1 builds")));
+fn bench_soc_construction(b: &Bench) {
+    b.run("soc1_construction_six_largest", || {
+        black_box(d695::soc1().expect("SOC 1 builds"))
     });
-    group.finish();
 }
 
-fn bench_campaign_preparation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("soc_campaign_prep");
-    group.sample_size(10);
+fn bench_campaign_preparation(b: &Bench) {
     let soc = d695::soc1().expect("SOC 1 builds");
     let mut spec = CampaignSpec::new(128, 32, 8);
     spec.num_faults = 50;
-    group.bench_function("s9234_core_50_faults", |b| {
-        b.iter(|| {
-            black_box(PreparedCampaign::from_soc(&soc, 0, &spec).expect("campaign prepares"))
-        });
+    b.run("campaign_prep_s9234_core_50_faults", || {
+        black_box(PreparedCampaign::from_soc(&soc, 0, &spec).expect("campaign prepares"))
     });
-    group.finish();
 }
 
-fn bench_meta_chain_diagnosis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("soc_meta_chain_diagnosis");
-    group.sample_size(20);
+fn bench_campaign_run_serial_vs_parallel(b: &Bench) {
+    let soc = d695::soc1().expect("SOC 1 builds");
+    let mut spec = CampaignSpec::new(128, 32, 8);
+    spec.num_faults = 50;
+    let campaign = PreparedCampaign::from_soc(&soc, 0, &spec).expect("campaign prepares");
+    b.run("campaign_run_serial_50_faults", || {
+        black_box(campaign.run(Scheme::TWO_STEP_DEFAULT).expect("runs"))
+    });
+    b.run("campaign_run_parallel_auto_50_faults", || {
+        black_box(
+            campaign
+                .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
+                .expect("runs"),
+        )
+    });
+}
+
+fn bench_meta_chain_diagnosis(b: &Bench) {
     let soc = d695::soc1().expect("SOC 1 builds");
     let core = &soc.cores()[0];
     let patterns = scan_diagnosis::lfsr_patterns(core.netlist(), 128, 0xACE1);
@@ -58,19 +67,16 @@ fn bench_meta_chain_diagnosis(c: &mut Criterion) {
         &scan_diagnosis::BistConfig::new(32, 8, Scheme::TWO_STEP_DEFAULT),
     )
     .expect("plan builds");
-    group.bench_function("one_fault_7244_cells", |b| {
-        b.iter(|| {
-            let outcome = plan.analyze(bits.iter().copied());
-            black_box(diagnose(&plan, &outcome).num_candidates())
-        });
+    b.run("meta_chain_diagnosis_one_fault_7244_cells", || {
+        let outcome = plan.analyze(bits.iter().copied());
+        black_box(diagnose(&plan, &outcome).num_candidates())
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_soc_construction,
-    bench_campaign_preparation,
-    bench_meta_chain_diagnosis
-);
-criterion_main!(benches);
+fn main() {
+    let b = Bench::new("soc", 10);
+    bench_soc_construction(&b);
+    bench_campaign_preparation(&b);
+    bench_campaign_run_serial_vs_parallel(&b);
+    bench_meta_chain_diagnosis(&b);
+}

@@ -32,7 +32,7 @@ fn main() {
                 interval_partitions: k,
             }
         };
-        reports.push(campaign.run(scheme).expect("scheme runs"));
+        reports.push(campaign.run_parallel(scheme, 0).expect("scheme runs"));
     }
     let headers: Vec<String> = std::iter::once("partitions".to_owned())
         .chain(variants.iter().map(|&k| {

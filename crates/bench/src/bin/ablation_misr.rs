@@ -22,7 +22,7 @@ fn main() {
         spec.num_faults = 300;
         spec.misr_degree = degree;
         let campaign = PreparedCampaign::from_circuit(&circuit, &spec).expect("campaign prepares");
-        let report = campaign.run(Scheme::TWO_STEP_DEFAULT).expect("two-step run");
+        let report = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
         rows.push(vec![
             degree.to_string(),
             fmt_dr(report.dr),

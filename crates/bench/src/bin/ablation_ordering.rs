@@ -32,9 +32,9 @@ fn main() {
             s.ordering = ordering;
             let campaign =
                 PreparedCampaign::from_circuit(&circuit, &s).expect("campaign prepares");
-            let interval = campaign.run(Scheme::IntervalBased).expect("interval run");
-            let random = campaign.run(Scheme::RandomSelection).expect("random run");
-            let two_step = campaign.run(Scheme::TWO_STEP_DEFAULT).expect("two-step run");
+            let interval = campaign.run_parallel(Scheme::IntervalBased, 0).expect("interval run");
+            let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
+            let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
             rows.push(vec![
                 label.to_owned(),
                 fmt_dr(interval.dr_by_prefix[0]),

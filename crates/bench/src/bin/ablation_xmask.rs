@@ -22,8 +22,8 @@ fn main() {
         let campaign =
             PreparedCampaign::from_circuit(&circuit, &spec).expect("campaign prepares");
         let masked = campaign.masked_cells().len();
-        let random = campaign.run(Scheme::RandomSelection).expect("random run");
-        let two_step = campaign.run(Scheme::TWO_STEP_DEFAULT).expect("two-step run");
+        let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
+        let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
         rows.push(vec![
             format!("{:.0}%", fraction * 100.0),
             masked.to_string(),

@@ -1,12 +1,20 @@
 //! Orchestrator: runs every table, figure, and extension binary and
 //! collects their outputs under `results/`.
 //!
+//! Experiments are independent subprocesses, so they are fanned out
+//! across a small worker pool (capped at half the available cores so
+//! each experiment's own `run_parallel` sharding still has room).
+//! Results are reported in the fixed `EXPERIMENTS` order regardless of
+//! completion order.
+//!
 //! ```sh
 //! cargo run --release -p scan-bench --bin all_experiments [out_dir]
 //! ```
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Every experiment binary, in reporting order.
 const EXPERIMENTS: &[&str] = &[
@@ -38,6 +46,11 @@ const EXPERIMENTS: &[&str] = &[
     "chain_defects",
 ];
 
+enum Outcome {
+    Ok(PathBuf),
+    Failed(String),
+}
+
 fn main() {
     let out_dir = std::env::args()
         .nth(1)
@@ -48,30 +61,56 @@ fn main() {
         .parent()
         .expect("binary directory")
         .to_path_buf();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get() / 2)
+        .clamp(1, EXPERIMENTS.len());
+    eprintln!("running {} experiments on {workers} worker(s)…", EXPERIMENTS.len());
+
+    let outcomes: Vec<Mutex<Option<Outcome>>> =
+        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = EXPERIMENTS.get(index) else {
+                    break;
+                };
+                eprintln!("running {name}…");
+                let outcome = match Command::new(exe_dir.join(name)).output() {
+                    Ok(output) if output.status.success() => {
+                        let path = out_dir.join(format!("{name}.txt"));
+                        std::fs::write(&path, &output.stdout).expect("write result file");
+                        Outcome::Ok(path)
+                    }
+                    Ok(output) => Outcome::Failed(format!("status {}", output.status)),
+                    Err(e) => Outcome::Failed(format!(
+                        "could not run ({e}) — build with `cargo build --release -p scan-bench` first"
+                    )),
+                };
+                *outcomes[index].lock().expect("outcome slot") = Some(outcome);
+            });
+        }
+    });
+
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        let binary = exe_dir.join(name);
-        eprintln!("running {name}…");
-        let output = Command::new(&binary).output();
-        match output {
-            Ok(output) if output.status.success() => {
-                let path = out_dir.join(format!("{name}.txt"));
-                std::fs::write(&path, &output.stdout).expect("write result file");
-                println!("{name}: ok → {}", path.display());
-            }
-            Ok(output) => {
+    for (name, slot) in EXPERIMENTS.iter().zip(&outcomes) {
+        match slot.lock().expect("outcome slot").take() {
+            Some(Outcome::Ok(path)) => println!("{name}: ok → {}", path.display()),
+            Some(Outcome::Failed(why)) => {
                 failures.push(*name);
-                println!("{name}: FAILED (status {})", output.status);
+                println!("{name}: FAILED ({why})");
             }
-            Err(e) => {
-                failures.push(*name);
-                println!("{name}: could not run ({e}) — build with `cargo build --release -p scan-bench` first");
-            }
+            None => unreachable!("every experiment gets an outcome"),
         }
     }
     println!();
     if failures.is_empty() {
-        println!("all {} experiments completed into {}", EXPERIMENTS.len(), out_dir.display());
+        println!(
+            "all {} experiments completed into {}",
+            EXPERIMENTS.len(),
+            out_dir.display()
+        );
     } else {
         println!("{} experiment(s) failed: {failures:?}", failures.len());
         std::process::exit(1);

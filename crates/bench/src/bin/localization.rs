@@ -22,7 +22,7 @@ fn main() {
             PreparedCampaign::from_soc(&soc, index, &spec).expect("campaign prepares");
         let mut cells = vec![core.name().to_owned()];
         for &scheme in &PAPER_SCHEMES {
-            let report = campaign.run_localization(scheme).expect("localization runs");
+            let report = campaign.run_localization_parallel(scheme, 0).expect("localization runs");
             cells.push(format!(
                 "{:.1}% (margin {:.3})",
                 report.top1_accuracy * 100.0,

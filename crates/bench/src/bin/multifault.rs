@@ -24,8 +24,8 @@ fn main() {
     for size in [1usize, 2, 3, 5] {
         let campaign = PreparedCampaign::from_circuit_multiplets(&circuit, &spec, size)
             .expect("campaign prepares");
-        let random = campaign.run(Scheme::RandomSelection).expect("random run");
-        let two_step = campaign.run(Scheme::TWO_STEP_DEFAULT).expect("two-step run");
+        let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
+        let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
         rows.push(vec![
             size.to_string(),
             format!("{:.1}", two_step.mean_actual),

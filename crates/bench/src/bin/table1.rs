@@ -20,13 +20,13 @@ fn main() {
     println!("(diagnosing {} detected faults)", campaign.num_faults());
 
     let interval = campaign
-        .run(Scheme::IntervalBased)
+        .run_parallel(Scheme::IntervalBased, 0)
         .expect("interval-based run");
     let random = campaign
-        .run(Scheme::RandomSelection)
+        .run_parallel(Scheme::RandomSelection, 0)
         .expect("random-selection run");
     let two_step = campaign
-        .run(Scheme::TWO_STEP_DEFAULT)
+        .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
         .expect("two-step run");
 
     let rows: Vec<Vec<String>> = (0..spec.partitions)

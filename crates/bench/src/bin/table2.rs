@@ -21,10 +21,10 @@ fn main() {
         let campaign = PreparedCampaign::from_circuit(&circuit, &spec)
             .unwrap_or_else(|e| panic!("campaign for {name}: {e}"));
         let random = campaign
-            .run(Scheme::RandomSelection)
+            .run_parallel(Scheme::RandomSelection, 0)
             .expect("random-selection run");
         let two_step = campaign
-            .run(Scheme::TWO_STEP_DEFAULT)
+            .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
             .expect("two-step run");
         rows.push(vec![
             name.to_owned(),

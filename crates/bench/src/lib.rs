@@ -13,6 +13,8 @@
 use scan_bist::Scheme;
 use scan_diagnosis::CampaignSpec;
 
+pub mod timing;
+
 /// The schemes compared throughout the paper, in reporting order.
 pub const PAPER_SCHEMES: [Scheme; 2] = [Scheme::RandomSelection, Scheme::TWO_STEP_DEFAULT];
 

@@ -1,0 +1,174 @@
+//! A minimal `std::time::Instant` microbenchmark harness.
+//!
+//! The workspace builds offline with no external registry, so the
+//! benches under `benches/` use this instead of criterion: each
+//! measurement runs a closure for a fixed number of samples (after a
+//! warm-up pass) and reports min / median / mean wall time per sample.
+//! No statistics beyond that are attempted — for A/B decisions, compare
+//! medians across runs on a quiet machine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: its label and per-sample wall times.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark label as printed.
+    pub name: String,
+    /// Per-sample durations, in execution order.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest sample.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Median sample (lower-middle for even counts).
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted.get(sorted.len().saturating_sub(1) / 2).copied().unwrap_or_default()
+    }
+
+    /// Mean sample.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        let Ok(count) = u32::try_from(self.samples.len()) else {
+            return Duration::ZERO;
+        };
+        if count == 0 {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / count
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs", d.as_secs_f64() * 1e6)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.2} s", d.as_secs_f64())
+    }
+}
+
+/// A named group of measurements, printed as it runs.
+pub struct Bench {
+    group: String,
+    samples: usize,
+}
+
+impl Bench {
+    /// Creates a benchmark group taking `samples` timed runs per case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn new(group: &str, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        println!("## {group} ({samples} samples)");
+        Bench {
+            group: group.to_owned(),
+            samples,
+        }
+    }
+
+    /// Overrides the per-case sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        self.samples = samples;
+        self
+    }
+
+    /// Times `body` (one warm-up run, then `samples` timed runs) and
+    /// prints a one-line summary. The closure's result is passed
+    /// through [`black_box`] so the work is not optimized away.
+    pub fn run<T>(&self, name: &str, mut body: impl FnMut() -> T) -> Measurement {
+        black_box(body());
+        let samples = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(body());
+                start.elapsed()
+            })
+            .collect();
+        let m = Measurement {
+            name: format!("{}/{name}", self.group),
+            samples,
+        };
+        println!(
+            "{:<44} min {:>10}   median {:>10}   mean {:>10}",
+            m.name,
+            fmt_duration(m.min()),
+            fmt_duration(m.median()),
+            fmt_duration(m.mean()),
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_statistics() {
+        let m = Measurement {
+            name: "t".to_owned(),
+            samples: vec![
+                Duration::from_nanos(30),
+                Duration::from_nanos(10),
+                Duration::from_nanos(20),
+            ],
+        };
+        assert_eq!(m.min(), Duration::from_nanos(10));
+        assert_eq!(m.median(), Duration::from_nanos(20));
+        assert_eq!(m.mean(), Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn bench_runs_the_requested_samples() {
+        let mut calls = 0usize;
+        let m = Bench::new("test_group", 5).run("count", || {
+            calls += 1;
+            calls
+        });
+        // One warm-up + five timed samples.
+        assert_eq!(calls, 6);
+        assert_eq!(m.samples.len(), 5);
+        assert_eq!(m.name, "test_group/count");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(120)), "120 ns");
+        assert!(fmt_duration(Duration::from_micros(120)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(120)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(12)).ends_with(" s"));
+    }
+
+    #[test]
+    fn empty_measurement_is_zero() {
+        let m = Measurement {
+            name: "e".to_owned(),
+            samples: Vec::new(),
+        };
+        assert_eq!(m.min(), Duration::ZERO);
+        assert_eq!(m.median(), Duration::ZERO);
+        assert_eq!(m.mean(), Duration::ZERO);
+    }
+}

@@ -1,108 +1,141 @@
-//! Property-based tests for the CLI front end: the argument parser
-//! never panics, accepts what it should, and the JSON emitter always
-//! produces structurally valid output.
+//! Property-based tests for the CLI front end, on the in-workspace
+//! shrink-free harness: the argument parser never panics, accepts what
+//! it should, and the JSON emitter always produces structurally valid
+//! output.
 
-use proptest::prelude::*;
+use scan_rng::testkit::Runner;
 
 use scan_bist_cli::json::{escape, JsonObject};
 use scan_bist_cli::{parse_args, parse_invocation, Command};
 
-proptest! {
-    /// Arbitrary argument vectors never panic the parser — they parse
-    /// or produce a readable error.
-    #[test]
-    fn parser_is_total(args in prop::collection::vec("[ -~]{0,12}", 0..6)) {
+/// Arbitrary argument vectors never panic the parser — they parse or
+/// produce a readable error.
+#[test]
+fn parser_is_total() {
+    Runner::new(256).run("parser_is_total", |g| {
+        let args = g.vec("args", 0, 5, |r| {
+            let len = r.gen_range_inclusive(0, 12);
+            (0..len)
+                .map(|_| char::from(r.gen_range_inclusive(0x20, 0x7E) as u8))
+                .collect::<String>()
+        });
         let refs: Vec<&str> = args.iter().map(String::as_str).collect();
         let _ = parse_args(refs.iter().copied());
         let _ = parse_invocation(refs.iter().copied());
-    }
+    });
+}
 
-    /// Valid diagnose invocations round-trip their numeric flags.
-    #[test]
-    fn diagnose_flags_roundtrip(
-        groups in 1u16..64,
-        partitions in 1usize..32,
-        patterns in 1usize..4096,
-        faults in 1usize..2000,
-    ) {
+/// Valid diagnose invocations round-trip their numeric flags.
+#[test]
+fn diagnose_flags_roundtrip() {
+    Runner::new(256).run("diagnose_flags_roundtrip", |g| {
+        let groups = g.u16("groups", 1, 63);
+        let partitions = g.usize("partitions", 1, 31);
+        let patterns = g.usize("patterns", 1, 4095);
+        let faults = g.usize("faults", 1, 1999);
         let groups_s = groups.to_string();
         let partitions_s = partitions.to_string();
         let patterns_s = patterns.to_string();
         let faults_s = faults.to_string();
         let args = vec![
-            "diagnose", "s953",
-            "--groups", &groups_s,
-            "--partitions", &partitions_s,
-            "--patterns", &patterns_s,
-            "--faults", &faults_s,
+            "diagnose",
+            "s953",
+            "--groups",
+            &groups_s,
+            "--partitions",
+            &partitions_s,
+            "--patterns",
+            &patterns_s,
+            "--faults",
+            &faults_s,
         ];
         let cmd = parse_args(args.iter().copied()).expect("valid args parse");
         match cmd {
             Command::Diagnose {
-                groups: g,
+                groups: gr,
                 partitions: p,
                 patterns: n,
                 faults: f,
                 ..
             } => {
-                prop_assert_eq!(g, groups);
-                prop_assert_eq!(p, partitions);
-                prop_assert_eq!(n, patterns);
-                prop_assert_eq!(f, faults);
+                assert_eq!(gr, groups);
+                assert_eq!(p, partitions);
+                assert_eq!(n, patterns);
+                assert_eq!(f, faults);
             }
-            other => prop_assert!(false, "unexpected command {other:?}"),
+            other => panic!("unexpected command {other:?}"),
         }
-    }
+    });
+}
 
-    /// JSON escaping always yields a quoted string whose interior
-    /// contains no raw quotes, backslashes, or control characters.
-    #[test]
-    fn escape_output_is_clean(text in "\\PC{0,64}") {
+/// JSON escaping always yields a quoted string whose interior contains
+/// no raw quotes, backslashes, or control characters.
+#[test]
+fn escape_output_is_clean() {
+    Runner::new(256).run("escape_output_is_clean", |g| {
+        let text = g.unicode_string("text", 0, 64);
         let escaped = escape(&text);
-        prop_assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+        assert!(escaped.starts_with('"') && escaped.ends_with('"'));
         let interior = &escaped[1..escaped.len() - 1];
         let mut chars = interior.chars();
         while let Some(c) = chars.next() {
-            prop_assert!((c as u32) >= 0x20, "raw control char {c:?}");
+            assert!((c as u32) >= 0x20, "raw control char {c:?}");
             if c == '\\' {
                 let next = chars.next().expect("escape sequence is complete");
-                prop_assert!(matches!(next, '"' | '\\' | 'n' | 'r' | 't' | 'u'));
+                assert!(matches!(next, '"' | '\\' | 'n' | 'r' | 't' | 'u'));
                 if next == 'u' {
                     for _ in 0..4 {
                         let h = chars.next().expect("4 hex digits");
-                        prop_assert!(h.is_ascii_hexdigit());
+                        assert!(h.is_ascii_hexdigit());
                     }
                 }
             } else {
-                prop_assert_ne!(c, '"');
+                assert_ne!(c, '"');
             }
         }
-    }
+    });
+}
 
-    /// Objects built from arbitrary fields are balanced and key-quoted.
-    #[test]
-    fn json_objects_are_balanced(
-        keys in prop::collection::vec("[a-z_]{1,10}", 1..6),
-        value in -1e6f64..1e6,
-    ) {
+/// Objects built from arbitrary fields are balanced and key-quoted.
+#[test]
+fn json_objects_are_balanced() {
+    Runner::new(256).run("json_objects_are_balanced", |g| {
+        const KEY_CHARS: [char; 27] = [
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+            'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '_',
+        ];
+        let keys = g.vec("keys", 1, 5, |r| {
+            let len = r.gen_range_inclusive(1, 10);
+            (0..len)
+                .map(|_| KEY_CHARS[r.gen_index(KEY_CHARS.len())])
+                .collect::<String>()
+        });
+        let value = g.f64("value", -1e6, 1e6);
         let mut o = JsonObject::new();
         for key in &keys {
             o.number(key, value);
         }
         let text = o.finish();
         let balanced = text.starts_with('{') && text.ends_with('}');
-        prop_assert!(balanced, "unbalanced object: {}", text);
-        prop_assert_eq!(text.matches(':').count(), keys.len());
-        prop_assert_eq!(text.matches(',').count(), keys.len() - 1);
-    }
+        assert!(balanced, "unbalanced object: {text}");
+        assert_eq!(text.matches(':').count(), keys.len());
+        assert_eq!(text.matches(',').count(), keys.len() - 1);
+    });
+}
 
-    /// A leading --json never changes which command parses.
-    #[test]
-    fn json_flag_is_transparent(circuit in "[a-z0-9]{1,8}") {
+/// A leading --json never changes which command parses.
+#[test]
+fn json_flag_is_transparent() {
+    Runner::new(256).run("json_flag_is_transparent", |g| {
+        const NAME_CHARS: [char; 36] = [
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+            'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
+            '8', '9',
+        ];
+        let circuit = g.string_of("circuit", &NAME_CHARS, 1, 8);
         let plain = parse_args(["stats", circuit.as_str()]).expect("parses");
-        let with_json =
-            parse_invocation(["--json", "stats", circuit.as_str()]).expect("parses");
-        prop_assert!(with_json.json);
-        prop_assert_eq!(with_json.command, plain);
-    }
+        let with_json = parse_invocation(["--json", "stats", circuit.as_str()]).expect("parses");
+        assert!(with_json.json);
+        assert_eq!(with_json.command, plain);
+    });
 }

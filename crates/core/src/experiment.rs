@@ -192,6 +192,27 @@ struct FaultCase {
     errors: ErrorMap,
 }
 
+/// Per-fault diagnosis statistics: everything one case contributes to a
+/// [`SchemeReport`]. Computing these is pure and side-effect-free, so
+/// cases can be evaluated in any order (or on any thread) and folded
+/// back in fault-index order for bit-identical aggregate results.
+#[derive(Clone, Debug)]
+pub(crate) struct CaseStats {
+    pub(crate) candidates: usize,
+    pub(crate) actual: usize,
+    pub(crate) pruned: usize,
+    pub(crate) prefix_counts: Vec<usize>,
+    pub(crate) lost: u64,
+}
+
+/// Per-fault first-level (core localization) statistics.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LocCaseStats {
+    pub(crate) ranked: bool,
+    pub(crate) correct: bool,
+    pub(crate) margin: f64,
+}
+
 /// A campaign with stimuli applied and faults simulated, ready to be
 /// diagnosed under any partitioning scheme.
 #[derive(Clone, Debug)]
@@ -208,7 +229,7 @@ pub struct PreparedCampaign {
 }
 
 #[derive(Clone, Debug)]
-struct SocContext {
+pub(crate) struct SocContext {
     core_of_cell: Vec<u32>,
     core_sizes: Vec<usize>,
     faulty_core: usize,
@@ -300,10 +321,9 @@ impl PreparedCampaign {
             });
         };
         // Each core consumes its own slice of the PRPG stream; model it
-        // as a per-core decorrelated seed.
-        let core_seed = spec
-            .prpg_seed
-            .wrapping_add((faulty_core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // as a per-core decorrelated seed (the same SplitMix64 derivation
+        // rule the parallel campaign sharding uses per fault).
+        let core_seed = scan_rng::derive(spec.prpg_seed, faulty_core as u64);
         let patterns = lfsr_patterns(core.netlist(), spec.num_patterns, core_seed);
         let fsim = FaultSimulator::new(core.netlist(), core.view(), &patterns)?;
         let faults = fsim.sample_detected_faults(spec.num_faults, spec.fault_seed);
@@ -348,8 +368,6 @@ impl PreparedCampaign {
     /// from the fault seed.
     #[must_use]
     pub fn masked_cells(&self) -> BitSet {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let n = self.layout.num_cells();
         let mut set = BitSet::new(n);
         if self.spec.x_mask_fraction <= 0.0 {
@@ -358,9 +376,8 @@ impl PreparedCampaign {
         #[allow(clippy::cast_sign_loss)] // fraction is validated ≥ 0 above
         let count = ((n as f64 * self.spec.x_mask_fraction).round() as usize).min(n);
         let mut order: Vec<usize> = (0..n).collect();
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(self.spec.fault_seed ^ 0x584D_4153); // "XMAS"k
-        order.shuffle(&mut rng);
+        let mut rng = scan_rng::ScanRng::seed_from_u64(self.spec.fault_seed ^ 0x584D_4153); // "XMAS"k
+        rng.shuffle(&mut order);
         for &cell in order.iter().take(count) {
             set.insert(cell);
         }
@@ -385,51 +402,101 @@ impl PreparedCampaign {
         &self.spec
     }
 
-    /// Runs the diagnosis for one scheme over every prepared fault.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
-    /// built for this layout/spec.
-    pub fn run(&self, scheme: Scheme) -> Result<SchemeReport, CampaignError> {
+    /// Builds the diagnosis plan this campaign runs under `scheme`.
+    pub(crate) fn build_plan(&self, scheme: Scheme) -> Result<DiagnosisPlan, CampaignError> {
         let config = self.spec.bist_config(scheme);
-        let plan = DiagnosisPlan::new(self.layout.clone(), self.spec.num_patterns, &config)?;
-        let masked = self.masked_cells();
+        Ok(DiagnosisPlan::new(
+            self.layout.clone(),
+            self.spec.num_patterns,
+            &config,
+        )?)
+    }
+
+    /// Diagnoses fault case `index` under a prebuilt plan. Pure: reads
+    /// only shared state, so it may run on any thread.
+    pub(crate) fn case_stats(
+        &self,
+        plan: &DiagnosisPlan,
+        masked: &BitSet,
+        index: usize,
+    ) -> CaseStats {
+        let case = &self.cases[index];
+        let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
+        let failing: Vec<usize> = case
+            .errors
+            .failing_positions()
+            .iter()
+            .filter(observable)
+            .collect();
+        let actual = failing.len();
+        let outcome = plan.analyze(
+            case.errors
+                .iter_bits()
+                .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                .filter(|(cell, _)| !masked.contains(*cell)),
+        );
+        let mut diag = diagnose(plan, &outcome);
+        if !masked.is_empty() {
+            diag = diag.without_cells(masked);
+        }
+        let lost = failing
+            .iter()
+            .filter(|&&pos| !diag.candidates().contains(self.local_to_global[pos]))
+            .count() as u64;
+        let pruned = prune_by_cover(plan, &outcome, diag.candidates());
+        CaseStats {
+            candidates: diag.num_candidates(),
+            actual,
+            pruned: pruned.len(),
+            prefix_counts: diag.prefix_counts().to_vec(),
+            lost,
+        }
+    }
+
+    /// The final candidate cell set of fault case `index`, in ascending
+    /// global cell order.
+    pub(crate) fn case_candidates(
+        &self,
+        plan: &DiagnosisPlan,
+        masked: &BitSet,
+        index: usize,
+    ) -> Vec<usize> {
+        let case = &self.cases[index];
+        let outcome = plan.analyze(
+            case.errors
+                .iter_bits()
+                .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                .filter(|(cell, _)| !masked.contains(*cell)),
+        );
+        let mut diag = diagnose(plan, &outcome);
+        if !masked.is_empty() {
+            diag = diag.without_cells(masked);
+        }
+        diag.candidates().iter().collect()
+    }
+
+    /// Folds per-case statistics, **in fault-index order**, into a
+    /// report. Serial and parallel runs share this fold, so any
+    /// execution that presents the same stats in the same order yields
+    /// bit-identical aggregates.
+    pub(crate) fn fold_report(
+        &self,
+        scheme: Scheme,
+        stats: impl IntoIterator<Item = CaseStats>,
+    ) -> SchemeReport {
         let mut final_acc = DrAccumulator::new();
         let mut pruned_acc = DrAccumulator::new();
         let mut prefix_accs = vec![DrAccumulator::new(); self.spec.partitions];
         let mut lost_cells = 0u64;
-        for case in &self.cases {
-            let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
-            let failing: Vec<usize> = case
-                .errors
-                .failing_positions()
-                .iter()
-                .filter(observable)
-                .collect();
-            let actual = failing.len();
-            let outcome = plan.analyze(
-                case.errors
-                    .iter_bits()
-                    .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                    .filter(|(cell, _)| !masked.contains(*cell)),
-            );
-            let mut diag = diagnose(&plan, &outcome);
-            if !masked.is_empty() {
-                diag = diag.without_cells(&masked);
+        for case in stats {
+            final_acc.add(case.candidates, case.actual);
+            pruned_acc.add(case.pruned, case.actual);
+            for (k, &count) in case.prefix_counts.iter().enumerate() {
+                prefix_accs[k].add(count, case.actual);
             }
-            lost_cells += failing
-                .iter()
-                .filter(|&&pos| !diag.candidates().contains(self.local_to_global[pos]))
-                .count() as u64;
-            final_acc.add(diag.num_candidates(), actual);
-            for (k, &count) in diag.prefix_counts().iter().enumerate() {
-                prefix_accs[k].add(count, actual);
-            }
-            let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
-            pruned_acc.add(pruned.len(), actual);
+            lost_cells += case.lost;
         }
-        Ok(SchemeReport {
+        SchemeReport {
             scheme,
             partitions: self.spec.partitions,
             faults: self.cases.len(),
@@ -439,7 +506,46 @@ impl PreparedCampaign {
             mean_candidates: final_acc.mean_candidates(),
             mean_actual: final_acc.mean_actual(),
             lost_cells,
-        })
+        }
+    }
+
+    /// Runs the diagnosis for one scheme over every prepared fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn run(&self, scheme: Scheme) -> Result<SchemeReport, CampaignError> {
+        let plan = self.build_plan(scheme)?;
+        let masked = self.masked_cells();
+        let stats = (0..self.cases.len()).map(|i| self.case_stats(&plan, &masked, i));
+        Ok(self.fold_report(scheme, stats))
+    }
+
+    /// Runs the diagnosis sharded across `threads` std threads (`0` =
+    /// one per available core). Bit-identical to [`run`](Self::run) at
+    /// any thread count — see [`crate::parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn run_parallel(&self, scheme: Scheme, threads: usize) -> Result<SchemeReport, CampaignError> {
+        crate::parallel::run_campaign(self, scheme, threads)
+    }
+
+    /// Per-fault final candidate sets (ascending cell ids), serially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn candidate_sets(&self, scheme: Scheme) -> Result<Vec<Vec<usize>>, CampaignError> {
+        let plan = self.build_plan(scheme)?;
+        let masked = self.masked_cells();
+        Ok((0..self.cases.len())
+            .map(|i| self.case_candidates(&plan, &masked, i))
+            .collect())
     }
 
     /// First-level SOC diagnosis: which embedded core is faulty?
@@ -456,45 +562,97 @@ impl PreparedCampaign {
     /// [`CampaignError::NoSuchCore`] if this campaign was not prepared
     /// from an SOC.
     pub fn run_localization(&self, scheme: Scheme) -> Result<LocalizationReport, CampaignError> {
-        let Some(ctx) = &self.soc_context else {
-            return Err(CampaignError::NoSuchCore {
-                core: usize::MAX,
-                available: 0,
-            });
-        };
-        let config = self.spec.bist_config(scheme);
-        let plan = DiagnosisPlan::new(self.layout.clone(), self.spec.num_patterns, &config)?;
+        let ctx = self.soc_context()?;
+        let plan = self.build_plan(scheme)?;
+        let stats = (0..self.cases.len()).map(|i| self.loc_case_stats(&plan, ctx, i));
+        Ok(self.fold_localization(scheme, stats))
+    }
+
+    /// First-level SOC diagnosis sharded across `threads` std threads
+    /// (`0` = one per available core). Bit-identical to
+    /// [`run_localization`](Self::run_localization) at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_localization`](Self::run_localization).
+    pub fn run_localization_parallel(
+        &self,
+        scheme: Scheme,
+        threads: usize,
+    ) -> Result<LocalizationReport, CampaignError> {
+        crate::parallel::run_localization(self, scheme, threads)
+    }
+
+    pub(crate) fn soc_context(&self) -> Result<&SocContext, CampaignError> {
+        self.soc_context.as_ref().ok_or(CampaignError::NoSuchCore {
+            core: usize::MAX,
+            available: 0,
+        })
+    }
+
+    /// Localizes fault case `index` to a core. Pure, like
+    /// [`case_stats`](Self::case_stats).
+    pub(crate) fn loc_case_stats(
+        &self,
+        plan: &DiagnosisPlan,
+        ctx: &SocContext,
+        index: usize,
+    ) -> LocCaseStats {
+        let case = &self.cases[index];
+        let outcome = plan.analyze(
+            case.errors
+                .iter_bits()
+                .map(|(pos, pat)| (self.local_to_global[pos], pat)),
+        );
+        let diag = diagnose(plan, &outcome);
+        let mut density = vec![0usize; ctx.core_sizes.len()];
+        for cell in diag.candidates() {
+            density[ctx.core_of_cell[cell] as usize] += 1;
+        }
+        let scores: Vec<f64> = density
+            .iter()
+            .zip(&ctx.core_sizes)
+            .map(|(&d, &s)| d as f64 / s.max(1) as f64)
+            .collect();
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        if scores[order[0]] > 0.0 {
+            let runner_up = order.get(1).map_or(0.0, |&i| scores[i]);
+            LocCaseStats {
+                ranked: true,
+                correct: order[0] == ctx.faulty_core,
+                margin: scores[order[0]] - runner_up,
+            }
+        } else {
+            LocCaseStats {
+                ranked: false,
+                correct: false,
+                margin: 0.0,
+            }
+        }
+    }
+
+    /// Folds per-case localization statistics in fault-index order —
+    /// the floating-point margin sum is order-sensitive, so the shared
+    /// fold is what makes serial and parallel results bit-identical.
+    pub(crate) fn fold_localization(
+        &self,
+        scheme: Scheme,
+        stats: impl IntoIterator<Item = LocCaseStats>,
+    ) -> LocalizationReport {
         let mut correct = 0usize;
         let mut margins = 0.0f64;
         let mut ranked = 0usize;
-        for case in &self.cases {
-            let outcome = plan.analyze(
-                case.errors
-                    .iter_bits()
-                    .map(|(pos, pat)| (self.local_to_global[pos], pat)),
-            );
-            let diag = diagnose(&plan, &outcome);
-            let mut density = vec![0usize; ctx.core_sizes.len()];
-            for cell in diag.candidates() {
-                density[ctx.core_of_cell[cell] as usize] += 1;
-            }
-            let scores: Vec<f64> = density
-                .iter()
-                .zip(&ctx.core_sizes)
-                .map(|(&d, &s)| d as f64 / s.max(1) as f64)
-                .collect();
-            let mut order: Vec<usize> = (0..scores.len()).collect();
-            order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-            if scores[order[0]] > 0.0 {
+        for case in stats {
+            if case.ranked {
                 ranked += 1;
-                if order[0] == ctx.faulty_core {
+                if case.correct {
                     correct += 1;
                 }
-                let runner_up = order.get(1).map_or(0.0, |&i| scores[i]);
-                margins += scores[order[0]] - runner_up;
+                margins += case.margin;
             }
         }
-        Ok(LocalizationReport {
+        LocalizationReport {
             scheme,
             faults: self.cases.len(),
             top1_accuracy: correct as f64 / self.cases.len().max(1) as f64,
@@ -503,7 +661,7 @@ impl PreparedCampaign {
             } else {
                 margins / ranked as f64
             },
-        })
+        }
     }
 }
 

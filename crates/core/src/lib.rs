@@ -59,6 +59,7 @@ mod error;
 pub mod experiment;
 mod layout;
 mod metrics;
+pub mod parallel;
 mod pruning;
 pub mod ranking;
 pub mod report;

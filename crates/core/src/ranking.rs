@@ -39,7 +39,7 @@ impl SuspectRanking {
             .iter()
             .map(|p| vec![0usize; usize::from(p.num_groups())])
             .collect();
-        for cell in candidates.iter() {
+        for cell in candidates {
             let (_, pos) = layout.coord(cell);
             for (p, partition) in plan.partitions().iter().enumerate() {
                 group_sizes[p][usize::from(partition.group_of(pos as usize))] += 1;
@@ -87,7 +87,7 @@ impl SuspectRanking {
     pub fn mean_rank_of(&self, cells: &BitSet) -> f64 {
         let mut total = 0usize;
         let mut counted = 0usize;
-        for cell in cells.iter() {
+        for cell in cells {
             if let Some(rank) = self.rank_of(cell) {
                 total += rank;
                 counted += 1;
@@ -102,6 +102,7 @@ impl SuspectRanking {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact sentinel values are the contract
 mod tests {
     use super::*;
     use crate::diagnose::diagnose;

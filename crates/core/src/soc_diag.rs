@@ -33,13 +33,27 @@ pub fn diagnose_each_core(
     spec: &CampaignSpec,
     schemes: &[Scheme],
 ) -> Result<Vec<CoreRow>, CampaignError> {
+    diagnose_each_core_parallel(soc, spec, schemes, 1)
+}
+
+/// [`diagnose_each_core`] with each core's per-fault diagnosis sharded
+/// across `threads` std threads (`0` = one per available CPU) — the
+/// workspace's slowest path, and bit-identical to the serial run at any
+/// thread count (see [`crate::parallel`]).
+///
+/// # Errors
+///
+/// Returns the first [`CampaignError`] encountered.
+pub fn diagnose_each_core_parallel(
+    soc: &Soc,
+    spec: &CampaignSpec,
+    schemes: &[Scheme],
+    threads: usize,
+) -> Result<Vec<CoreRow>, CampaignError> {
     let mut rows = Vec::with_capacity(soc.cores().len());
     for (index, core) in soc.cores().iter().enumerate() {
         let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
-        let mut reports = Vec::with_capacity(schemes.len());
-        for &scheme in schemes {
-            reports.push(campaign.run(scheme)?);
-        }
+        let reports = crate::parallel::run_schemes(&campaign, schemes, threads)?;
         rows.push(CoreRow {
             core: core.name().to_owned(),
             reports,
@@ -70,6 +84,31 @@ mod tests {
         for row in &rows {
             assert_eq!(row.reports.len(), 2);
             assert_eq!(row.reports[0].scheme, Scheme::RandomSelection);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // bit-identical results are the contract
+    fn parallel_rows_are_bit_identical() {
+        let cores = vec![
+            CoreModule::new(generate::benchmark("s298")),
+            CoreModule::new(generate::benchmark("s344")),
+        ];
+        let soc = Soc::single_chain("duo", cores).unwrap();
+        let mut spec = CampaignSpec::new(32, 4, 3);
+        spec.num_faults = 15;
+        let schemes = [Scheme::RandomSelection, Scheme::TWO_STEP_DEFAULT];
+        let serial = diagnose_each_core(&soc, &spec, &schemes).unwrap();
+        for threads in [2, 8] {
+            let par = diagnose_each_core_parallel(&soc, &spec, &schemes, threads).unwrap();
+            for (s, p) in serial.iter().zip(&par) {
+                assert_eq!(s.core, p.core);
+                for (sr, pr) in s.reports.iter().zip(&p.reports) {
+                    assert_eq!(sr.dr, pr.dr);
+                    assert_eq!(sr.dr_pruned, pr.dr_pruned);
+                    assert_eq!(sr.dr_by_prefix, pr.dr_by_prefix);
+                }
+            }
         }
     }
 }

@@ -1,136 +1,135 @@
-//! Property-based tests for the diagnosis engine's invariants.
+//! Property-based tests for the diagnosis engine's invariants, on the
+//! in-workspace shrink-free harness.
 
-use proptest::prelude::*;
+use scan_rng::testkit::{Gen, Runner};
 
 use scan_bist::Scheme;
 use scan_diagnosis::{diagnose, prune_by_cover, BistConfig, ChainLayout, DiagnosisPlan};
 
-fn any_scheme() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::RandomSelection),
-        Just(Scheme::IntervalBased),
-        Just(Scheme::TWO_STEP_DEFAULT),
-        Just(Scheme::FixedInterval),
-    ]
+const SCHEMES: [Scheme; 4] = [
+    Scheme::RandomSelection,
+    Scheme::IntervalBased,
+    Scheme::TWO_STEP_DEFAULT,
+    Scheme::FixedInterval,
+];
+
+/// Draws the deduplicated sparse error bits used by the plan
+/// properties: `(cell, pattern)` pairs with cells folded into the
+/// chain.
+fn error_bits(g: &mut Gen, chain_len: usize, max_pat: usize, max_count: usize) -> Vec<(usize, usize)> {
+    let bits = g.set("bits", 1, max_count, |r| {
+        (r.gen_index(300), r.gen_index(max_pat))
+    });
+    bits.into_iter()
+        .map(|(c, t)| (c % chain_len, t))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Soundness without aliasing: when each partition-group containing
-    /// an error actually fails (guaranteed unless contributions cancel),
-    /// every error-capturing cell stays in the candidate set. With a
-    /// 16-bit MISR and few error bits, cancellation requires identical
-    /// duplicate bits, which the strategy excludes via a set.
-    #[test]
-    fn candidates_contain_error_cells(
-        chain_len in 16usize..300,
-        groups in 2u16..=8,
-        partitions in 1usize..6,
-        scheme in any_scheme(),
-        bits in prop::collection::btree_set((0usize..300, 0usize..32), 1..12),
-    ) {
-        let bits: Vec<(usize, usize)> = bits
-            .into_iter()
-            .map(|(c, t)| (c % chain_len, t))
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
+/// Soundness without aliasing: when each partition-group containing an
+/// error actually fails (guaranteed unless contributions cancel),
+/// every error-capturing cell stays in the candidate set.
+#[test]
+fn candidates_contain_error_cells() {
+    Runner::new(48).run("candidates_contain_error_cells", |g| {
+        let chain_len = g.usize("chain_len", 16, 299);
+        let groups = g.u16("groups", 2, 8);
+        let partitions = g.usize("partitions", 1, 5);
+        let scheme = g.pick("scheme", &SCHEMES);
+        let bits = error_bits(g, chain_len, 32, 11);
         let plan = DiagnosisPlan::new(
             ChainLayout::single_chain(chain_len),
             32,
             &BistConfig::new(groups, partitions, scheme),
-        ).unwrap();
+        )
+        .unwrap();
         let outcome = plan.analyze(bits.iter().copied());
         let diag = diagnose(&plan, &outcome);
         // Identify cells whose every group fails (i.e. not aliased).
         for &(cell, _) in &bits {
             let aliased = (0..partitions).any(|p| {
-                let g = plan.partitions()[p].group_of(cell);
-                !outcome.failed(p, g)
+                let gr = plan.partitions()[p].group_of(cell);
+                !outcome.failed(p, gr)
             });
             if !aliased {
-                prop_assert!(diag.candidates().contains(cell), "cell {cell} lost");
+                assert!(diag.candidates().contains(cell), "cell {cell} lost");
             }
         }
-    }
+    });
+}
 
-    /// Pruning returns a subset that still explains every failing
-    /// session.
-    #[test]
-    fn pruning_subset_and_explaining(
-        chain_len in 16usize..200,
-        groups in 2u16..=8,
-        partitions in 1usize..6,
-        scheme in any_scheme(),
-        bits in prop::collection::btree_set((0usize..200, 0usize..16), 1..10),
-    ) {
-        let bits: Vec<(usize, usize)> = bits
-            .into_iter()
-            .map(|(c, t)| (c % chain_len, t))
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
+/// Pruning returns a subset that still explains every failing session.
+#[test]
+fn pruning_subset_and_explaining() {
+    Runner::new(48).run("pruning_subset_and_explaining", |g| {
+        let chain_len = g.usize("chain_len", 16, 199);
+        let groups = g.u16("groups", 2, 8);
+        let partitions = g.usize("partitions", 1, 5);
+        let scheme = g.pick("scheme", &SCHEMES);
+        let bits = error_bits(g, chain_len, 16, 9);
         let plan = DiagnosisPlan::new(
             ChainLayout::single_chain(chain_len),
             16,
             &BistConfig::new(groups, partitions, scheme),
-        ).unwrap();
+        )
+        .unwrap();
         let outcome = plan.analyze(bits.iter().copied());
         let diag = diagnose(&plan, &outcome);
         let pruned = prune_by_cover(&plan, &outcome, diag.candidates());
-        prop_assert!(pruned.is_subset(diag.candidates()));
+        assert!(pruned.is_subset(diag.candidates()));
         for (p, partition) in plan.partitions().iter().enumerate() {
-            for g in outcome.failing_groups(p) {
+            for gr in outcome.failing_groups(p) {
                 // If the intersection left any candidate in this group,
                 // pruning must keep at least one.
-                let had = partition.members(g).any(|pos| diag.candidates().contains(pos));
+                let had = partition
+                    .members(gr)
+                    .any(|pos| diag.candidates().contains(pos));
                 if had {
-                    prop_assert!(
-                        partition.members(g).any(|pos| pruned.contains(pos)),
-                        "partition {p} group {g} lost all explanations"
+                    assert!(
+                        partition.members(gr).any(|pos| pruned.contains(pos)),
+                        "partition {p} group {gr} lost all explanations"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Prefix candidate counts are non-increasing in the number of
-    /// partitions for every scheme.
-    #[test]
-    fn prefix_counts_monotone(
-        chain_len in 16usize..200,
-        groups in 2u16..=8,
-        scheme in any_scheme(),
-        bits in prop::collection::btree_set((0usize..200, 0usize..16), 1..10),
-    ) {
-        let bits: Vec<(usize, usize)> = bits
-            .into_iter()
-            .map(|(c, t)| (c % chain_len, t))
-            .collect();
+/// Prefix candidate counts are non-increasing in the number of
+/// partitions for every scheme.
+#[test]
+fn prefix_counts_monotone() {
+    Runner::new(48).run("prefix_counts_monotone", |g| {
+        let chain_len = g.usize("chain_len", 16, 199);
+        let groups = g.u16("groups", 2, 8);
+        let scheme = g.pick("scheme", &SCHEMES);
+        let bits = error_bits(g, chain_len, 16, 9);
         let plan = DiagnosisPlan::new(
             ChainLayout::single_chain(chain_len),
             16,
             &BistConfig::new(groups, 6, scheme),
-        ).unwrap();
+        )
+        .unwrap();
         let outcome = plan.analyze(bits.iter().copied());
         let diag = diagnose(&plan, &outcome);
         for w in diag.prefix_counts().windows(2) {
-            prop_assert!(w[1] <= w[0]);
+            assert!(w[1] <= w[0]);
         }
-    }
+    });
+}
 
-    /// Multi-chain layouts: a cell's group assignment depends only on
-    /// its shift position, so same-position cells of different chains
-    /// are candidates or pruned together.
-    #[test]
-    fn same_position_cells_share_fate(
-        chains in 2usize..=6,
-        chain_len in 8usize..64,
-        groups in 2u16..=4,
-        bit_cell in 0usize..64,
-        bit_pat in 0usize..8,
-    ) {
+/// Multi-chain layouts: a cell's group assignment depends only on its
+/// shift position, so same-position cells of different chains are
+/// candidates or pruned together.
+#[test]
+fn same_position_cells_share_fate() {
+    Runner::new(48).run("same_position_cells_share_fate", |g| {
+        let chains = g.usize("chains", 2, 6);
+        let chain_len = g.usize("chain_len", 8, 63);
+        let groups = g.u16("groups", 2, 4);
+        let bit_cell = g.usize("bit_cell", 0, 63);
+        let bit_pat = g.usize("bit_pat", 0, 7);
         let mut coords = Vec::new();
         for c in 0..chains {
             for p in 0..chain_len {
@@ -143,7 +142,8 @@ proptest! {
             layout,
             8,
             &BistConfig::new(groups, 3, Scheme::RandomSelection),
-        ).unwrap();
+        )
+        .unwrap();
         let cell = bit_cell % num_cells;
         let outcome = plan.analyze([(cell, bit_pat)]);
         let diag = diagnose(&plan, &outcome);
@@ -151,11 +151,10 @@ proptest! {
         let pos = cell % chain_len;
         let other_chain = (cell / chain_len + 1) % chains;
         let twin = other_chain * chain_len + pos;
-        prop_assert_eq!(
+        assert_eq!(
             diag.candidates().contains(cell),
             diag.candidates().contains(twin),
-            "cells at shift position {} disagree",
-            pos
+            "cells at shift position {pos} disagree"
         );
-    }
+    });
 }

@@ -14,8 +14,7 @@
 //! interval-based partitioning exploits. See `DESIGN.md` §5 for the full
 //! substitution rationale.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use scan_rng::ScanRng;
 
 use crate::gate::GateKind;
 use crate::{Netlist, NetlistBuilder};
@@ -162,7 +161,7 @@ pub fn generate(profile: &CircuitProfile, seed: u64) -> Netlist {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn generate_with(profile: &CircuitProfile, seed: u64, config: &GeneratorConfig) -> Netlist {
-    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(profile.name));
+    let mut rng = ScanRng::seed_from_u64(seed ^ hash_name(profile.name));
     let mut b = NetlistBuilder::new(profile.name);
 
     // Source nets with positions: PIs spread uniformly, FF outputs at
@@ -205,14 +204,14 @@ pub fn generate_with(profile: &CircuitProfile, seed: u64, config: &GeneratorConf
         };
         let mut layer = Vec::with_capacity(this_level);
         for _ in 0..this_level {
-            let pos: f64 = rng.gen();
+            let pos: f64 = rng.next_f64();
             let name = format!("w{gate_counter}");
             gate_counter += 1;
             let kind = pick_kind(&mut rng, config);
             let fanin = if kind.is_unary() {
                 1
             } else {
-                rng.gen_range(2..=config.max_fanin)
+                rng.gen_range_inclusive(2, config.max_fanin)
             };
             let inputs = pick_inputs(&mut rng, &layers, &mut used, pos, fanin, config.locality);
             let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
@@ -228,7 +227,7 @@ pub fn generate_with(profile: &CircuitProfile, seed: u64, config: &GeneratorConf
     // feedback is local.
     for (pos, d) in &ff_d_names {
         let kind = pick_kind_nonunary(&mut rng, config);
-        let fanin = rng.gen_range(2..=config.max_fanin);
+        let fanin = rng.gen_range_inclusive(2, config.max_fanin);
         let inputs = pick_inputs(&mut rng, &layers, &mut used, *pos, fanin, config.locality);
         let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
         b.gate(kind, d, &input_refs);
@@ -239,7 +238,7 @@ pub fn generate_with(profile: &CircuitProfile, seed: u64, config: &GeneratorConf
         let name = format!("po{i}");
         let pos = (i as f64 + 0.5) / profile.outputs.max(1) as f64;
         let kind = pick_kind_nonunary(&mut rng, config);
-        let fanin = rng.gen_range(2..=config.max_fanin);
+        let fanin = rng.gen_range_inclusive(2, config.max_fanin);
         let inputs = pick_inputs(&mut rng, &layers, &mut used, pos, fanin, config.locality);
         let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
         b.gate(kind, &name, &input_refs);
@@ -282,7 +281,7 @@ fn hash_name(name: &str) -> u64 {
     h
 }
 
-fn pick_kind(rng: &mut StdRng, config: &GeneratorConfig) -> GateKind {
+fn pick_kind(rng: &mut ScanRng, config: &GeneratorConfig) -> GateKind {
     if rng.gen_bool(config.unary_fraction) {
         if rng.gen_bool(0.8) {
             GateKind::Not
@@ -294,7 +293,7 @@ fn pick_kind(rng: &mut StdRng, config: &GeneratorConfig) -> GateKind {
     }
 }
 
-fn pick_kind_nonunary(rng: &mut StdRng, config: &GeneratorConfig) -> GateKind {
+fn pick_kind_nonunary(rng: &mut ScanRng, config: &GeneratorConfig) -> GateKind {
     if rng.gen_bool(config.xor_fraction) {
         if rng.gen_bool(0.5) {
             GateKind::Xor
@@ -302,7 +301,7 @@ fn pick_kind_nonunary(rng: &mut StdRng, config: &GeneratorConfig) -> GateKind {
             GateKind::Xnor
         }
     } else {
-        match rng.gen_range(0..4) {
+        match rng.gen_index(4) {
             0 => GateKind::And,
             1 => GateKind::Nand,
             2 => GateKind::Or,
@@ -318,7 +317,7 @@ fn pick_kind_nonunary(rng: &mut StdRng, config: &GeneratorConfig) -> GateKind {
 /// preferred, which keeps the dangling-logic fraction (and hence the
 /// unobservable-fault fraction) low.
 fn pick_inputs(
-    rng: &mut StdRng,
+    rng: &mut ScanRng,
     layers: &[Vec<(f64, String)>],
     used: &mut std::collections::HashSet<String>,
     pos: f64,
@@ -357,7 +356,7 @@ fn pick_inputs(
             if window > 1.0 {
                 // Degenerate (shouldn't happen: sources always exist);
                 // fall back to any net from the first layer.
-                let any = &layers[0][rng.gen_range(0..layers[0].len())].1;
+                let any = &layers[0][rng.gen_index(layers[0].len())].1;
                 if !chosen.iter().any(|c| c == any) {
                     chosen.push(any.clone());
                 }
@@ -365,7 +364,7 @@ fn pick_inputs(
             }
             continue;
         }
-        let pick = pool[rng.gen_range(0..pool.len())];
+        let pick = pool[rng.gen_index(pool.len())];
         chosen.push(pick.clone());
         used.insert(pick.clone());
         window = locality;

@@ -1,8 +1,6 @@
 //! Full-scan views: scan chain ordering and response observation points.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use scan_rng::ScanRng;
 
 use crate::gate::{DffId, Driver, NetId};
 use crate::Netlist;
@@ -85,8 +83,8 @@ impl ScanView {
             ScanOrdering::Natural => Self::natural(netlist, include_outputs),
             ScanOrdering::Shuffled(seed) => {
                 let mut order: Vec<DffId> = netlist.dff_ids().collect();
-                let mut rng = StdRng::seed_from_u64(seed);
-                order.shuffle(&mut rng);
+                let mut rng = ScanRng::seed_from_u64(seed);
+                rng.shuffle(&mut order);
                 Self::with_order(netlist, order, include_outputs)
             }
             ScanOrdering::ConeClustered => {

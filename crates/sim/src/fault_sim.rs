@@ -7,9 +7,7 @@
 //! whole-circuit re-simulation is fast enough that event-driven
 //! machinery would not pay for itself.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use scan_rng::ScanRng;
 
 use scan_netlist::{Netlist, ScanView};
 
@@ -170,8 +168,8 @@ impl<'a> FaultSimulator<'a> {
             .copied()
             .filter(|f| site_has_fanout(self.netlist(), f))
             .collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        faults.shuffle(&mut rng);
+        let mut rng = ScanRng::seed_from_u64(seed);
+        rng.shuffle(&mut faults);
         let mut detected = Vec::with_capacity(count);
         for fault in faults {
             if detected.len() == count {
@@ -207,8 +205,8 @@ impl<'a> FaultSimulator<'a> {
             .copied()
             .filter(|f| site_has_fanout(self.netlist(), f))
             .collect();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4D55_4C54); // "MULT"
-        faults.shuffle(&mut rng);
+        let mut rng = ScanRng::seed_from_u64(seed ^ 0x4D55_4C54); // "MULT"
+        rng.shuffle(&mut faults);
         let mut result = Vec::with_capacity(count);
         for chunk in faults.chunks_exact(size) {
             if result.len() == count {

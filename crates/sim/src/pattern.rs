@@ -7,8 +7,7 @@
 //! 64 patterns per word, so the simulator can evaluate 64 patterns per
 //! pass.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use scan_rng::ScanRng;
 
 /// A bit-packed set of full-scan test patterns.
 ///
@@ -77,8 +76,8 @@ impl PatternSet {
     /// [`PatternSet::from_bit_stream`] with an LFSR PRPG).
     #[must_use]
     pub fn pseudo_random(num_pis: usize, num_ffs: usize, num_patterns: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Self::from_bit_stream(num_pis, num_ffs, num_patterns, || rng.gen())
+        let mut rng = ScanRng::seed_from_u64(seed);
+        Self::from_bit_stream(num_pis, num_ffs, num_patterns, || rng.next_bool())
     }
 
     /// Builds a *weighted* pseudo-random pattern set: stimulus bit `i`
@@ -103,7 +102,7 @@ impl PatternSet {
         for &w in pi_weights.iter().chain(state_weights) {
             assert!((0.0..=1.0).contains(&w), "weight {w} outside [0, 1]");
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = ScanRng::seed_from_u64(seed);
         let words = num_patterns.div_ceil(64);
         let mut pi_bits = vec![vec![0u64; words]; pi_weights.len()];
         let mut state_bits = vec![vec![0u64; words]; state_weights.len()];

@@ -1,19 +1,20 @@
-//! Property-based tests for the simulation substrate.
+//! Property-based tests for the simulation substrate, on the
+//! in-workspace shrink-free harness.
 
-use proptest::prelude::*;
+use scan_rng::testkit::Runner;
 
 use scan_netlist::generate::{generate_with, profile, GeneratorConfig};
 use scan_netlist::{bench, stats::OutputCones, ScanView};
 use scan_sim::{Fault, FaultSimulator, FaultUniverse, PatternSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The golden response of a circuit never depends on the word
-    /// packing: simulating 64+n patterns gives the same bits as
-    /// simulating the first 64 alone.
-    #[test]
-    fn golden_response_prefix_stable(seed in 0u64..20, extra in 1usize..64) {
+/// The golden response of a circuit never depends on the word packing:
+/// simulating 64+n patterns gives the same bits as simulating the
+/// first 64 alone.
+#[test]
+fn golden_response_prefix_stable() {
+    Runner::new(24).run("golden_response_prefix_stable", |g| {
+        let seed = g.u64("seed", 0, 19);
+        let extra = g.usize("extra", 1, 63);
         let n = bench::s27();
         let view = ScanView::natural(&n, true);
         let short = PatternSet::pseudo_random(4, 3, 64, seed);
@@ -22,18 +23,21 @@ proptest! {
         let fsim_long = FaultSimulator::new(&n, &view, &long).unwrap();
         for pos in 0..view.len() {
             for pat in 0..64 {
-                prop_assert_eq!(
+                assert_eq!(
                     fsim_short.golden().bit(pos, pat),
                     fsim_long.golden().bit(pos, pat)
                 );
             }
         }
-    }
+    });
+}
 
-    /// No fault ever produces an error outside its structural output
-    /// cone, across random synthetic circuits.
-    #[test]
-    fn errors_confined_to_cones(seed in 0u64..12) {
+/// No fault ever produces an error outside its structural output cone,
+/// across random synthetic circuits.
+#[test]
+fn errors_confined_to_cones() {
+    Runner::new(12).run("errors_confined_to_cones", |g| {
+        let seed = g.u64("seed", 0, 11);
         let p = profile("s298").unwrap();
         let n = generate_with(p, seed, &GeneratorConfig::default());
         let view = ScanView::natural(&n, true);
@@ -47,16 +51,19 @@ proptest! {
                 scan_sim::FaultSite::Pin { gate, .. } => cones.cone(n.gate(gate).output),
             };
             for pos in errors.failing_positions().iter() {
-                prop_assert!(cone.contains(pos));
+                assert!(cone.contains(pos));
             }
         }
-    }
+    });
+}
 
-    /// Complementary stuck-at faults on the same site never produce
-    /// errors in the same (position, pattern) bit — a bit is either
-    /// stuck wrong at 0 or at 1, not both.
-    #[test]
-    fn complementary_faults_disjoint_errors(seed in 0u64..12) {
+/// Complementary stuck-at faults on the same site never produce errors
+/// in the same (position, pattern) bit — a bit is either stuck wrong
+/// at 0 or at 1, not both.
+#[test]
+fn complementary_faults_disjoint_errors() {
+    Runner::new(12).run("complementary_faults_disjoint_errors", |g| {
+        let seed = g.u64("seed", 0, 11);
         let n = bench::s27();
         let view = ScanView::natural(&n, true);
         let patterns = PatternSet::pseudo_random(4, 3, 64, seed);
@@ -65,39 +72,42 @@ proptest! {
             let e0 = fsim.error_map(&Fault::stem(net, false));
             let e1 = fsim.error_map(&Fault::stem(net, true));
             for (pos, pat) in e0.iter_bits() {
-                prop_assert!(
+                assert!(
                     !e1.bit(pos, pat),
                     "net {} errs both ways at ({pos},{pat})",
                     n.net_name(net)
                 );
             }
         }
-    }
+    });
+}
 
-    /// The fault-free circuit simulated as a "fault" that forces a net
-    /// to its own golden constant produces no detected fault only when
-    /// values actually match; sanity-check via the zero-diff identity:
-    /// a response XORed with itself is empty.
-    #[test]
-    fn response_self_difference_empty(seed in 0u64..20) {
+/// A response XORed with itself is empty (zero-diff identity).
+#[test]
+fn response_self_difference_empty() {
+    Runner::new(20).run("response_self_difference_empty", |g| {
+        let seed = g.u64("seed", 0, 19);
         let n = bench::s27();
         let view = ScanView::natural(&n, true);
         let patterns = PatternSet::pseudo_random(4, 3, 100, seed);
         let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
         let diff = fsim.golden().xor(fsim.golden());
-        prop_assert!(!diff.is_detected());
-    }
+        assert!(!diff.is_detected());
+    });
+}
 
-    /// Detected-fault sampling is deterministic in (count, seed) and
-    /// monotone in count.
-    #[test]
-    fn sampling_deterministic_and_monotone(seed in 0u64..20) {
+/// Detected-fault sampling is deterministic in (count, seed) and
+/// monotone in count.
+#[test]
+fn sampling_deterministic_and_monotone() {
+    Runner::new(20).run("sampling_deterministic_and_monotone", |g| {
+        let seed = g.u64("seed", 0, 19);
         let n = bench::s27();
         let view = ScanView::natural(&n, true);
         let patterns = PatternSet::pseudo_random(4, 3, 64, 3);
         let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
         let five = fsim.sample_detected_faults(5, seed);
         let ten = fsim.sample_detected_faults(10, seed);
-        prop_assert_eq!(&five[..], &ten[..5.min(ten.len())]);
-    }
+        assert_eq!(&five[..], &ten[..5.min(ten.len())]);
+    });
 }

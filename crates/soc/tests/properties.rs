@@ -1,6 +1,7 @@
-//! Property-based tests for the SOC substrate.
+//! Property-based tests for the SOC substrate, on the in-workspace
+//! shrink-free harness.
 
-use proptest::prelude::*;
+use scan_rng::testkit::Runner;
 
 use scan_netlist::generate::{generate, profile};
 use scan_soc::tam::{CoreTestPlan, TestSchedule};
@@ -15,59 +16,68 @@ fn small_cores(count: usize) -> Vec<CoreModule> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Balanced construction covers every cell exactly once, for any
-    /// TAM width.
-    #[test]
-    fn balanced_covers_exactly_once(width in 1usize..=12, cores in 1usize..=5) {
+/// Balanced construction covers every cell exactly once, for any TAM
+/// width.
+#[test]
+fn balanced_covers_exactly_once() {
+    Runner::new(24).run("balanced_covers_exactly_once", |g| {
+        let width = g.usize("width", 1, 12);
+        let cores = g.usize("cores", 1, 5);
         let modules = small_cores(cores);
         let expected: usize = modules.iter().map(CoreModule::num_positions).sum();
         let soc = Soc::balanced("t", modules, width).unwrap();
-        prop_assert_eq!(soc.num_chains(), width);
-        prop_assert_eq!(soc.total_positions(), expected);
+        assert_eq!(soc.num_chains(), width);
+        assert_eq!(soc.total_positions(), expected);
         let mut seen = std::collections::HashSet::new();
         for chain in soc.chains() {
             for cell in chain {
-                prop_assert!(seen.insert(*cell));
+                assert!(seen.insert(*cell));
             }
         }
-        prop_assert_eq!(seen.len(), expected);
+        assert_eq!(seen.len(), expected);
         // Balance: chain lengths differ by at most the core count (one
         // remainder slot per core).
         let max = soc.chains().iter().map(Vec::len).max().unwrap();
         let min = soc.chains().iter().map(Vec::len).min().unwrap();
-        prop_assert!(max - min <= cores);
-    }
+        assert!(max - min <= cores);
+    });
+}
 
-    /// Layout coordinates are consistent with the chain structure.
-    #[test]
-    fn layout_roundtrips(width in 1usize..=6) {
+/// Layout coordinates are consistent with the chain structure.
+#[test]
+fn layout_roundtrips() {
+    Runner::new(24).run("layout_roundtrips", |g| {
+        let width = g.usize("width", 1, 6);
         let soc = Soc::balanced("t", small_cores(3), width).unwrap();
         for (cell, chain, pos) in soc.layout() {
-            prop_assert_eq!(soc.chains()[chain as usize][pos as usize], cell);
+            assert_eq!(soc.chains()[chain as usize][pos as usize], cell);
         }
-    }
+    });
+}
 
-    /// Daisy-chain schedules: total patterns equal the largest budget;
-    /// shift cycles never increase across phases; total shift cycles
-    /// are bounded by a no-bypass schedule.
-    #[test]
-    fn schedules_monotone_and_bounded(budgets in prop::collection::vec(0usize..300, 3)) {
+/// Daisy-chain schedules: total patterns equal the largest budget;
+/// shift cycles never increase across phases; total shift cycles are
+/// bounded by a no-bypass schedule.
+#[test]
+fn schedules_monotone_and_bounded() {
+    Runner::new(24).run("schedules_monotone_and_bounded", |g| {
+        let budgets = g.vec("budgets", 3, 3, |r| r.gen_index(300));
         let modules = small_cores(3);
         let soc = Soc::single_chain("t", modules).unwrap();
-        let plans: Vec<CoreTestPlan> = budgets.iter().map(|&p| CoreTestPlan { patterns: p }).collect();
+        let plans: Vec<CoreTestPlan> = budgets
+            .iter()
+            .map(|&p| CoreTestPlan { patterns: p })
+            .collect();
         let sched = TestSchedule::daisy_chain(&soc, &plans);
         let max_budget = budgets.iter().copied().max().unwrap_or(0);
-        prop_assert_eq!(sched.total_patterns(), max_budget);
+        assert_eq!(sched.total_patterns(), max_budget);
         let mut prev = usize::MAX;
         for phase in sched.phases() {
-            prop_assert!(phase.shift_cycles <= prev);
-            prop_assert!(phase.patterns > 0);
+            assert!(phase.shift_cycles <= prev);
+            assert!(phase.patterns > 0);
             prev = phase.shift_cycles;
         }
         let naive = max_budget * soc.total_positions();
-        prop_assert!(sched.total_shift_cycles() <= naive);
-    }
+        assert!(sched.total_shift_cycles() <= naive);
+    });
 }

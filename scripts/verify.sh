@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Workspace verification: tier-1 (release build + full test suite) plus
+# a warning-free clippy pass. Run from anywhere inside the repository.
+#
+#   scripts/verify.sh
+#
+# The workspace is intentionally zero-dependency (no external registry
+# crates), so this must succeed fully offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> verify OK"
