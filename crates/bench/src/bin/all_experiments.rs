@@ -10,11 +10,19 @@
 //! ```sh
 //! cargo run --release -p scan-bench --bin all_experiments [out_dir]
 //! ```
+//!
+//! With `--trace` / `--metrics-out <path>` / `--progress` the
+//! orchestrator records its own spans and also forwards matching flags
+//! to the observability-aware children ([`OBS_AWARE`]), which then drop
+//! `trace_<name>.ndjson` / `metrics_<name>.json` next to their `.txt`
+//! results in `out_dir`.
 
 use std::path::PathBuf;
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use scan_bench::ObsSession;
 
 /// Every experiment binary, in reporting order.
 const EXPERIMENTS: &[&str] = &[
@@ -46,14 +54,22 @@ const EXPERIMENTS: &[&str] = &[
     "chain_defects",
 ];
 
+/// Experiment binaries that understand the observability flags and can
+/// emit their own trace/metrics files.
+const OBS_AWARE: &[&str] = &["table1", "table2", "table3", "table4"];
+
 enum Outcome {
     Ok(PathBuf),
     Failed(String),
 }
 
 fn main() {
-    let out_dir = std::env::args()
-        .nth(1)
+    let (obs, rest) = ObsSession::start("all_experiments");
+    let forward_trace = scan_obs::registry::trace_enabled();
+    let forward_metrics = scan_obs::registry::metrics_enabled();
+    let forward_progress = scan_obs::registry::progress_enabled();
+    let out_dir = rest
+        .first()
         .map_or_else(|| PathBuf::from("results"), PathBuf::from);
     std::fs::create_dir_all(&out_dir).expect("create results directory");
     let exe_dir = std::env::current_exe()
@@ -69,6 +85,7 @@ fn main() {
     let outcomes: Vec<Mutex<Option<Outcome>>> =
         EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -77,18 +94,42 @@ fn main() {
                     break;
                 };
                 eprintln!("running {name}…");
-                let outcome = match Command::new(exe_dir.join(name)).output() {
+                let _span = scan_obs::span!("experiment[{name}]");
+                let mut command = Command::new(exe_dir.join(name));
+                if OBS_AWARE.contains(name) {
+                    if forward_trace {
+                        command.arg("--trace-out");
+                        command.arg(out_dir.join(format!("trace_{name}.ndjson")));
+                    }
+                    if forward_metrics {
+                        command.arg("--metrics-out");
+                        command.arg(out_dir.join(format!("metrics_{name}.json")));
+                    }
+                    if forward_progress {
+                        command.arg("--progress");
+                    }
+                }
+                let outcome = match command.output() {
                     Ok(output) if output.status.success() => {
+                        scan_obs::metrics::incr("experiments.ok");
                         let path = out_dir.join(format!("{name}.txt"));
                         std::fs::write(&path, &output.stdout).expect("write result file");
                         Outcome::Ok(path)
                     }
-                    Ok(output) => Outcome::Failed(format!("status {}", output.status)),
-                    Err(e) => Outcome::Failed(format!(
+                    Ok(output) => {
+                        scan_obs::metrics::incr("experiments.failed");
+                        Outcome::Failed(format!("status {}", output.status))
+                    }
+                    Err(e) => {
+                        scan_obs::metrics::incr("experiments.failed");
+                        Outcome::Failed(format!(
                         "could not run ({e}) — build with `cargo build --release -p scan-bench` first"
-                    )),
+                    ))
+                    }
                 };
                 *outcomes[index].lock().expect("outcome slot") = Some(outcome);
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                scan_obs::progress::tick("experiments", done, EXPERIMENTS.len());
             });
         }
     });
@@ -105,6 +146,7 @@ fn main() {
         }
     }
     println!();
+    let failed = failures.len();
     if failures.is_empty() {
         println!(
             "all {} experiments completed into {}",
@@ -112,7 +154,10 @@ fn main() {
             out_dir.display()
         );
     } else {
-        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        println!("{failed} experiment(s) failed: {failures:?}");
+    }
+    obs.finish();
+    if failed > 0 {
         std::process::exit(1);
     }
 }

@@ -3,12 +3,13 @@
 //! two-step partitioning. 200 pseudorandom patterns, 4 groups per
 //! partition, 500 injected single stuck-at faults.
 
-use scan_bench::{fmt_dr, render_table, table1_spec};
+use scan_bench::{fmt_dr, render_table, table1_spec, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::PreparedCampaign;
 use scan_netlist::generate;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("table1");
     let spec = table1_spec();
     let circuit = generate::benchmark("s953");
     println!(
@@ -17,7 +18,7 @@ fn main() {
     );
     let campaign = PreparedCampaign::from_circuit(&circuit, &spec)
         .expect("s953 campaign must prepare");
-    println!("(diagnosing {} detected faults)", campaign.num_faults());
+    eprintln!("(diagnosing {} detected faults)", campaign.num_faults());
 
     let interval = campaign
         .run_parallel(Scheme::IntervalBased, 0)
@@ -52,4 +53,5 @@ fn main() {
             &rows
         )
     );
+    obs.finish();
 }

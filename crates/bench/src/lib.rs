@@ -13,7 +13,10 @@
 use scan_bist::Scheme;
 use scan_diagnosis::CampaignSpec;
 
+pub mod obs;
 pub mod timing;
+
+pub use obs::ObsSession;
 
 /// The schemes compared throughout the paper, in reporting order.
 pub const PAPER_SCHEMES: [Scheme; 2] = [Scheme::RandomSelection, Scheme::TWO_STEP_DEFAULT];

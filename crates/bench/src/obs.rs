@@ -1,0 +1,118 @@
+//! Observability plumbing shared by the experiment binaries.
+//!
+//! Every table/figure binary accepts the same flags the `scanbist` CLI
+//! does — `--trace`, `--trace-out <path>`, `--metrics-out <path>`, and
+//! `--progress` — parsed here from the process arguments before the
+//! binary's own positionals. [`ObsSession::start`] installs the
+//! configuration process-wide; [`ObsSession::finish`] exports the
+//! NDJSON stream / metrics snapshot and prints the span-tree summary.
+//! With no flags given, observability stays disabled and the binary's
+//! output is byte-identical to an uninstrumented build.
+
+use scan_obs::ObsConfig;
+
+/// An active observability session for one experiment binary.
+#[must_use = "call finish() so exports are written"]
+pub struct ObsSession {
+    config: ObsConfig,
+}
+
+impl ObsSession {
+    /// Parses observability flags out of `std::env::args()`, installs
+    /// the resulting configuration, and returns the session plus the
+    /// remaining (non-observability) arguments in order. `binary` names
+    /// the default trace file, `trace_<binary>.ndjson`.
+    pub fn start(binary: &str) -> (ObsSession, Vec<String>) {
+        let (config, rest) = parse_env_args(binary, std::env::args().skip(1));
+        scan_obs::init(&config);
+        (ObsSession { config }, rest)
+    }
+
+    /// Stops recording and writes the requested exports. Failures are
+    /// reported on stderr but never fail the experiment itself.
+    pub fn finish(self) {
+        if let Err(e) = scan_obs::finish(&self.config) {
+            eprintln!("warning: could not write observability exports: {e}");
+        }
+    }
+}
+
+/// Splits observability flags from the rest of an argument list.
+/// Exposed for tests; binaries use [`ObsSession::start`].
+pub fn parse_env_args(
+    binary: &str,
+    args: impl Iterator<Item = String>,
+) -> (ObsConfig, Vec<String>) {
+    let mut config = ObsConfig::disabled();
+    let mut rest = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                config.trace = true;
+                config.summary = true;
+            }
+            "--trace-out" => {
+                config.trace = true;
+                config.summary = true;
+                config.trace_path = args.next().map(Into::into);
+                if config.trace_path.is_none() {
+                    eprintln!("warning: --trace-out needs a path; using the default");
+                }
+            }
+            "--metrics-out" => {
+                config.metrics = true;
+                config.metrics_path = args.next().map(Into::into);
+                if config.metrics_path.is_none() {
+                    eprintln!("warning: --metrics-out needs a path; ignoring");
+                    config.metrics = false;
+                }
+            }
+            "--progress" => config.progress = true,
+            _ => rest.push(arg),
+        }
+    }
+    if config.trace && config.trace_path.is_none() {
+        config.trace_path = Some(format!("trace_{binary}.ndjson").into());
+    }
+    (config, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(binary: &str, args: &[&str]) -> (ObsConfig, Vec<String>) {
+        parse_env_args(binary, args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn no_flags_is_disabled_and_transparent() {
+        let (config, rest) = split("table1", &["results", "extra"]);
+        assert!(!config.is_enabled());
+        assert_eq!(rest, vec!["results".to_owned(), "extra".to_owned()]);
+    }
+
+    #[test]
+    fn trace_defaults_the_stream_path() {
+        let (config, rest) = split("table1", &["--trace"]);
+        assert!(config.trace && config.summary);
+        assert_eq!(
+            config.trace_path.as_deref(),
+            Some("trace_table1.ndjson".as_ref())
+        );
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn explicit_paths_and_positionals_interleave() {
+        let (config, rest) = split(
+            "table3",
+            &["out", "--metrics-out", "m.json", "--progress", "--trace-out", "t.ndjson"],
+        );
+        assert!(config.trace && config.metrics && config.progress);
+        assert_eq!(config.metrics_path.as_deref(), Some("m.json".as_ref()));
+        assert_eq!(config.trace_path.as_deref(), Some("t.ndjson".as_ref()));
+        assert_eq!(rest, vec!["out".to_owned()]);
+    }
+}

@@ -2,9 +2,10 @@
 //! generation, scan chain partitioning schemes, and the scan cell
 //! selection hardware of the DATE 2003 partition-based diagnosis paper.
 //!
-//! The crate is dependency-free and purely computational; circuit
-//! simulation lives in `scan-sim`, and the diagnosis engine combining
-//! the two lives in `scan-diagnosis`.
+//! The crate is purely computational, depending only on the vendored
+//! `scan-obs` instrumentation facade; circuit simulation lives in
+//! `scan-sim`, and the diagnosis engine combining the two lives in
+//! `scan-diagnosis`.
 //!
 //! # Overview
 //!

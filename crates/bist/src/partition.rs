@@ -335,6 +335,23 @@ impl Scheme {
 #[must_use]
 pub fn generate_partitions(config: &PartitionConfig, scheme: Scheme, count: usize) -> Vec<Partition> {
     config.validate();
+    let _span = scan_obs::span!("generate_partitions");
+    let parts = generate_partitions_inner(config, scheme, count);
+    if scan_obs::enabled() {
+        for part in &parts {
+            for size in part.group_sizes() {
+                scan_obs::metrics::record_pow2("partition.group_size", size as u64);
+            }
+        }
+    }
+    parts
+}
+
+fn generate_partitions_inner(
+    config: &PartitionConfig,
+    scheme: Scheme,
+    count: usize,
+) -> Vec<Partition> {
     match scheme {
         Scheme::RandomSelection => random_selection_partitions(config, count),
         Scheme::IntervalBased => (0..count)

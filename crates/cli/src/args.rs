@@ -107,12 +107,16 @@ pub struct Invocation {
     /// Emit one JSON object instead of human-readable text (supported
     /// by `coverage`, `atpg`, `diagnose`, and `soc`).
     pub json: bool,
+    /// Observability settings from the global `--trace` /
+    /// `--trace-out` / `--metrics-out` / `--progress` flags.
+    pub obs: scan_obs::ObsConfig,
     /// The command to execute.
     pub command: Command,
 }
 
-/// Parses the full argument list including global flags (currently
-/// `--json`, which may appear before the subcommand).
+/// Parses the full argument list including global flags (`--json`,
+/// `--trace`, `--trace-out <path>`, `--metrics-out <path>`, and
+/// `--progress`, all of which appear before the subcommand).
 ///
 /// # Errors
 ///
@@ -122,14 +126,54 @@ where
     I: IntoIterator<Item = &'a str>,
 {
     let mut rest: Vec<&str> = args.into_iter().collect();
-    let json = rest.first() == Some(&"--json");
-    if json {
-        rest.remove(0);
+    let mut json = false;
+    let mut obs = scan_obs::ObsConfig::disabled();
+    loop {
+        match rest.first().copied() {
+            Some("--json") => {
+                json = true;
+                rest.remove(0);
+            }
+            Some("--trace") => {
+                obs.trace = true;
+                obs.summary = true;
+                rest.remove(0);
+            }
+            Some("--trace-out") => {
+                rest.remove(0);
+                let path = take_front("--trace-out", &mut rest)?;
+                obs.trace = true;
+                obs.summary = true;
+                obs.trace_path = Some(path.into());
+            }
+            Some("--metrics-out") => {
+                rest.remove(0);
+                let path = take_front("--metrics-out", &mut rest)?;
+                obs.metrics = true;
+                obs.metrics_path = Some(path.into());
+            }
+            Some("--progress") => {
+                obs.progress = true;
+                rest.remove(0);
+            }
+            _ => break,
+        }
+    }
+    if obs.trace && obs.trace_path.is_none() {
+        obs.trace_path = Some("trace_scanbist.ndjson".into());
     }
     Ok(Invocation {
         json,
+        obs,
         command: parse_args(rest)?,
     })
+}
+
+fn take_front(flag: &str, rest: &mut Vec<&str>) -> Result<String, ParseArgsError> {
+    if rest.is_empty() {
+        return Err(ParseArgsError(format!("flag `{flag}` needs a value")));
+    }
+    Ok(rest.remove(0).to_owned())
 }
 
 /// Parses the argument list (without the program name).
@@ -255,6 +299,17 @@ pub const HELP: &str = "\
 scanbist — partition-based scan-BIST failing-cell diagnosis
 
 USAGE:
+  scanbist [GLOBAL FLAGS] <command> ...
+
+GLOBAL FLAGS (before the command):
+  --json                emit one JSON object instead of text
+  --trace               record spans/metrics; write trace_scanbist.ndjson
+                        and print a span-tree summary to stderr
+  --trace-out <path>    like --trace, NDJSON stream to <path>
+  --metrics-out <path>  write a JSON metrics snapshot to <path>
+  --progress            periodic per-shard progress lines on stderr
+
+COMMANDS:
   scanbist parse <file.bench>
   scanbist stats <circuit>
   scanbist coverage <circuit> [--patterns N]
@@ -320,6 +375,34 @@ mod tests {
     #[test]
     fn soc_requires_faulty() {
         assert!(parse_args(["soc", "chip.soc"]).is_err());
+    }
+
+    #[test]
+    fn parses_observability_global_flags() {
+        let inv = parse_invocation([
+            "--json",
+            "--trace",
+            "--metrics-out",
+            "m.json",
+            "--progress",
+            "stats",
+            "s27",
+        ])
+        .unwrap();
+        assert!(inv.json);
+        assert!(inv.obs.trace && inv.obs.metrics && inv.obs.progress && inv.obs.summary);
+        assert_eq!(inv.obs.trace_path.as_deref(), Some("trace_scanbist.ndjson".as_ref()));
+        assert_eq!(inv.obs.metrics_path.as_deref(), Some("m.json".as_ref()));
+        assert_eq!(inv.command, Command::Stats { circuit: "s27".into() });
+
+        let inv = parse_invocation(["--trace-out", "t.ndjson", "help"]).unwrap();
+        assert_eq!(inv.obs.trace_path.as_deref(), Some("t.ndjson".as_ref()));
+        assert!(!inv.obs.progress && !inv.json);
+
+        let plain = parse_invocation(["stats", "s27"]).unwrap();
+        assert!(!plain.obs.is_enabled());
+
+        assert!(parse_invocation(["--metrics-out"]).is_err());
     }
 
     #[test]

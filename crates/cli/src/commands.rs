@@ -23,6 +23,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> i32 {
     run_invocation(
         &Invocation {
             json: false,
+            obs: scan_obs::ObsConfig::disabled(),
             command: command.clone(),
         },
         out,

@@ -14,6 +14,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    scan_obs::init(&invocation.obs);
     let code = run_invocation(&invocation, &mut std::io::stdout().lock());
+    if let Err(e) = scan_obs::finish(&invocation.obs) {
+        eprintln!("warning: could not write observability exports: {e}");
+    }
     std::process::exit(code);
 }

@@ -66,6 +66,7 @@ pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
             }
         }
         candidates = keep;
+        scan_obs::metrics::record_pow2("diagnose.candidates_per_step", candidates.len() as u64);
         prefix_counts.push(candidates.len());
     }
     Diagnosis {

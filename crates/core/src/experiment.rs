@@ -266,9 +266,18 @@ impl PreparedCampaign {
         multiplet_size: usize,
     ) -> Result<Self, CampaignError> {
         assert!(multiplet_size >= 1, "multiplet size must be at least 1");
+        let _prepare = scan_obs::span!("prepare");
         let view = ScanView::ordered(netlist, spec.ordering, spec.include_outputs);
-        let patterns = lfsr_patterns(netlist, spec.num_patterns, spec.prpg_seed);
-        let fsim = FaultSimulator::new(netlist, &view, &patterns)?;
+        let patterns = {
+            let _span = scan_obs::span!("patterns");
+            lfsr_patterns(netlist, spec.num_patterns, spec.prpg_seed)
+        };
+        scan_obs::metrics::add("campaign.patterns", spec.num_patterns as u64);
+        let fsim = {
+            let _span = scan_obs::span!("fault_sim_init");
+            FaultSimulator::new(netlist, &view, &patterns)?
+        };
+        let fault_sim_span = scan_obs::span!("fault_sim");
         let cases: Vec<FaultCase> = if multiplet_size == 1 {
             fsim.sample_detected_faults(spec.num_faults, spec.fault_seed)
                 .iter()
@@ -284,6 +293,8 @@ impl PreparedCampaign {
                 })
                 .collect()
         };
+        drop(fault_sim_span);
+        scan_obs::metrics::add("campaign.faults", cases.len() as u64);
         if cases.is_empty() {
             return Err(CampaignError::NoDetectedFaults);
         }
@@ -320,12 +331,21 @@ impl PreparedCampaign {
                 available: soc.cores().len(),
             });
         };
+        let _prepare = scan_obs::span!("prepare");
         // Each core consumes its own slice of the PRPG stream; model it
         // as a per-core decorrelated seed (the same SplitMix64 derivation
         // rule the parallel campaign sharding uses per fault).
         let core_seed = scan_rng::derive(spec.prpg_seed, faulty_core as u64);
-        let patterns = lfsr_patterns(core.netlist(), spec.num_patterns, core_seed);
-        let fsim = FaultSimulator::new(core.netlist(), core.view(), &patterns)?;
+        let patterns = {
+            let _span = scan_obs::span!("patterns");
+            lfsr_patterns(core.netlist(), spec.num_patterns, core_seed)
+        };
+        scan_obs::metrics::add("campaign.patterns", spec.num_patterns as u64);
+        let fsim = {
+            let _span = scan_obs::span!("fault_sim_init");
+            FaultSimulator::new(core.netlist(), core.view(), &patterns)?
+        };
+        let fault_sim_span = scan_obs::span!("fault_sim");
         let faults = fsim.sample_detected_faults(spec.num_faults, spec.fault_seed);
         if faults.is_empty() {
             return Err(CampaignError::NoDetectedFaults);
@@ -336,6 +356,8 @@ impl PreparedCampaign {
                 errors: fsim.error_map(f),
             })
             .collect();
+        drop(fault_sim_span);
+        scan_obs::metrics::add("campaign.faults", faults.len() as u64);
         // Map this core's local positions to SOC-global cell ids.
         let mut local_to_global = vec![usize::MAX; core.view().len()];
         for (global, (cell, _, _)) in soc.layout().into_iter().enumerate() {
@@ -404,6 +426,7 @@ impl PreparedCampaign {
 
     /// Builds the diagnosis plan this campaign runs under `scheme`.
     pub(crate) fn build_plan(&self, scheme: Scheme) -> Result<DiagnosisPlan, CampaignError> {
+        let _span = scan_obs::span!("build_plan");
         let config = self.spec.bist_config(scheme);
         Ok(DiagnosisPlan::new(
             self.layout.clone(),
@@ -444,6 +467,9 @@ impl PreparedCampaign {
             .filter(|&&pos| !diag.candidates().contains(self.local_to_global[pos]))
             .count() as u64;
         let pruned = prune_by_cover(plan, &outcome, diag.candidates());
+        scan_obs::metrics::incr("diagnosis.cases");
+        scan_obs::metrics::record_pow2("diagnosis.candidates_per_fault", diag.num_candidates() as u64);
+        scan_obs::metrics::record_pow2("diagnosis.actual_failing_cells", actual as u64);
         CaseStats {
             candidates: diag.num_candidates(),
             actual,
@@ -496,6 +522,7 @@ impl PreparedCampaign {
             }
             lost_cells += case.lost;
         }
+        scan_obs::metrics::add("diagnosis.lost_cells", lost_cells);
         SchemeReport {
             scheme,
             partitions: self.spec.partitions,
@@ -516,6 +543,7 @@ impl PreparedCampaign {
     /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
     /// built for this layout/spec.
     pub fn run(&self, scheme: Scheme) -> Result<SchemeReport, CampaignError> {
+        let _span = scan_obs::span!("diagnose");
         let plan = self.build_plan(scheme)?;
         let masked = self.masked_cells();
         let stats = (0..self.cases.len()).map(|i| self.case_stats(&plan, &masked, i));

@@ -74,17 +74,26 @@ where
     if threads == 1 {
         for (i, slot) in slots.iter_mut().enumerate() {
             *slot = Some(work(i));
+            scan_obs::progress::tick_worker(0, i + 1, cases);
         }
+        scan_obs::metrics::add("parallel.worker0.cases", cases as u64);
     } else {
         let chunk = cases.div_ceil(threads);
         std::thread::scope(|scope| {
             for (w, shard) in slots.chunks_mut(chunk).enumerate() {
                 let work = &work;
                 scope.spawn(move || {
+                    let _span = scan_obs::span!("worker");
                     let base = w * chunk;
+                    let total = shard.len();
                     for (off, slot) in shard.iter_mut().enumerate() {
                         *slot = Some(work(base + off));
+                        scan_obs::progress::tick_worker(w, off + 1, total);
                     }
+                    scan_obs::metrics::add_fmt(
+                        || format!("parallel.worker{w}.cases"),
+                        total as u64,
+                    );
                 });
             }
         });
@@ -104,6 +113,7 @@ pub fn run_campaign(
     scheme: Scheme,
     threads: usize,
 ) -> Result<SchemeReport, CampaignError> {
+    let _span = scan_obs::span!("diagnose");
     let plan = campaign.build_plan(scheme)?;
     let masked = campaign.masked_cells();
     let stats = sharded_map(campaign.num_faults(), threads, |i| {

@@ -50,14 +50,17 @@ pub fn diagnose_each_core_parallel(
     schemes: &[Scheme],
     threads: usize,
 ) -> Result<Vec<CoreRow>, CampaignError> {
-    let mut rows = Vec::with_capacity(soc.cores().len());
+    let num_cores = soc.cores().len();
+    let mut rows = Vec::with_capacity(num_cores);
     for (index, core) in soc.cores().iter().enumerate() {
+        let _span = scan_obs::span!("core[{}]", core.name());
         let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
         let reports = crate::parallel::run_schemes(&campaign, schemes, threads)?;
         rows.push(CoreRow {
             core: core.name().to_owned(),
             reports,
         });
+        scan_obs::progress::tick("soc_cores", index + 1, num_cores);
     }
     Ok(rows)
 }

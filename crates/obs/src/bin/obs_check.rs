@@ -1,0 +1,98 @@
+//! `obs-check` — validates observability export files.
+//!
+//! Usage: `obs-check <file>…` where each file is either an NDJSON
+//! event stream (`.ndjson`: every line must parse as a JSON object
+//! with a known `type`) or a JSON metrics snapshot (anything else:
+//! must parse as one object with `counters` / `histograms` / `spans`
+//! members). Exits nonzero with a message on the first failure —
+//! `scripts/verify.sh` runs this against an instrumented smoke
+//! campaign.
+
+use std::process::ExitCode;
+
+use scan_obs::json::{parse, Value};
+
+fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
+    let mut spans = 0usize;
+    let mut lines = 0usize;
+    for (index, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        let value =
+            parse(line).map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+        let kind = value
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing \"type\"", index + 1))?;
+        match kind {
+            "meta" | "counter" | "hist" => {}
+            "span" => {
+                let start = value.get("start_ns").and_then(Value::as_f64);
+                let end = value.get("end_ns").and_then(Value::as_f64);
+                let path_ok = value.get("path").and_then(Value::as_str).is_some();
+                match (start, end, path_ok) {
+                    (Some(s), Some(e), true) if s <= e => spans += 1,
+                    _ => {
+                        return Err(format!(
+                            "{path}:{}: malformed span event",
+                            index + 1
+                        ))
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{path}:{}: unknown event type `{other}`",
+                    index + 1
+                ))
+            }
+        }
+    }
+    if lines == 0 {
+        return Err(format!("{path}: empty NDJSON stream"));
+    }
+    eprintln!("obs-check: {path}: {lines} event(s), {spans} span(s) OK");
+    Ok(())
+}
+
+fn check_metrics(path: &str, text: &str) -> Result<(), String> {
+    let value = parse(text).map_err(|e| format!("{path}: {e}"))?;
+    for member in ["counters", "histograms", "spans"] {
+        if value.get(member).and_then(Value::as_object).is_none() {
+            return Err(format!("{path}: missing object member \"{member}\""));
+        }
+    }
+    let counters = value
+        .get("counters")
+        .and_then(Value::as_object)
+        .map_or(0, std::collections::BTreeMap::len);
+    eprintln!("obs-check: {path}: metrics snapshot OK ({counters} counter(s))");
+    Ok(())
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if path.ends_with(".ndjson") {
+        check_ndjson(path, &text)
+    } else {
+        check_metrics(path, &text)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obs-check <trace.ndjson|metrics.json>…");
+        return ExitCode::from(2);
+    }
+    for path in &args {
+        if let Err(message) = check(path) {
+            eprintln!("obs-check: FAILED: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

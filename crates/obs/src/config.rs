@@ -1,0 +1,58 @@
+//! Observability configuration.
+
+use std::path::PathBuf;
+
+/// What to record and where to export it. Everything defaults to off:
+/// a process that never calls [`crate::init`] (or initializes with
+/// [`ObsConfig::disabled`]) pays one relaxed atomic load per
+/// would-be event and nothing else.
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
+#[allow(clippy::struct_excessive_bools)] // independent CLI toggles, not a state machine
+pub struct ObsConfig {
+    /// Record hierarchical spans (implies metrics recording, so the
+    /// NDJSON stream carries per-shard worker metrics alongside spans).
+    pub trace: bool,
+    /// Record counters and histograms.
+    pub metrics: bool,
+    /// Print rate-limited progress lines to stderr.
+    pub progress: bool,
+    /// Where [`crate::finish`] writes the NDJSON event stream
+    /// (span + counter + histogram lines). `None` skips the stream.
+    pub trace_path: Option<PathBuf>,
+    /// Where [`crate::finish`] writes the JSON metrics snapshot.
+    /// `None` skips the snapshot.
+    pub metrics_path: Option<PathBuf>,
+    /// Print the human-readable span tree to stderr in
+    /// [`crate::finish`].
+    pub summary: bool,
+}
+
+impl ObsConfig {
+    /// Everything off — the default.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ObsConfig::default()
+    }
+
+    /// True if any recording is requested.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.trace || self.metrics || self.progress
+    }
+
+    /// The [`crate::registry`] state mask this configuration enables.
+    #[must_use]
+    pub(crate) fn state_mask(&self) -> u8 {
+        let mut mask = 0;
+        if self.trace {
+            mask |= crate::registry::TRACE | crate::registry::METRICS;
+        }
+        if self.metrics {
+            mask |= crate::registry::METRICS;
+        }
+        if self.progress {
+            mask |= crate::registry::PROGRESS;
+        }
+        mask
+    }
+}

@@ -1,0 +1,204 @@
+//! Exporters: the human-readable span tree, the NDJSON event stream,
+//! and the JSON metrics snapshot.
+//!
+//! All three render from one [`Snapshot`], so a driver can take the
+//! snapshot once and emit every format consistently. Output formats
+//! are documented in `docs/OBSERVABILITY.md`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::registry::{Histogram, Snapshot, SpanStat};
+
+/// Escapes a string for embedding in JSON output.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn hist_json(hist: &Histogram) -> String {
+    format!(
+        r#"{{"edges":[{}],"counts":[{}],"total":{},"sum":{}}}"#,
+        join_u64(&hist.edges),
+        join_u64(&hist.counts),
+        hist.total,
+        hist.sum
+    )
+}
+
+fn span_stat_json(stat: &SpanStat) -> String {
+    format!(
+        r#"{{"count":{},"total_ns":{},"self_ns":{},"max_ns":{}}}"#,
+        stat.count, stat.total_ns, stat.self_ns, stat.max_ns
+    )
+}
+
+/// Renders the JSON metrics snapshot document:
+/// `{"version":1,"counters":{…},"histograms":{…},"spans":{…}}`.
+#[must_use]
+pub fn metrics_json(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"version\":1,\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{value}", escape(name));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", escape(name), hist_json(hist));
+    }
+    out.push_str("},\"spans\":{");
+    for (i, (path, stat)) in snapshot.span_stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", escape(path), span_stat_json(stat));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the NDJSON event stream: a `meta` line, one `span` line per
+/// completed span (sorted by start time for reproducible ordering),
+/// then final `counter` and `hist` lines carrying the merged metrics.
+#[must_use]
+pub fn ndjson(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"meta","version":1,"spans":{},"counters":{},"histograms":{}}}"#,
+        snapshot.events.len(),
+        snapshot.counters.len(),
+        snapshot.histograms.len()
+    );
+    for event in &snapshot.events {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"span","path":{},"thread":{},"start_ns":{},"end_ns":{},"dur_ns":{}}}"#,
+            escape(&event.path),
+            event.thread,
+            event.start_ns,
+            event.end_ns,
+            event.end_ns.saturating_sub(event.start_ns)
+        );
+    }
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":{},"value":{value}}}"#,
+            escape(name)
+        );
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"hist","name":{},"hist":{}}}"#,
+            escape(name),
+            hist_json(hist)
+        );
+    }
+    out
+}
+
+/// Renders the span tree for humans: one line per path, indented by
+/// nesting depth, with call count, total, self, and max wall times.
+/// Counters follow the tree so a stderr dump is self-contained.
+#[must_use]
+pub fn tree_summary(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if snapshot.span_stats.is_empty() && snapshot.counters.is_empty() {
+        out.push_str("obs: nothing recorded\n");
+        return out;
+    }
+    out.push_str("obs span tree (total wall time; self = excluding children)\n");
+    // BTreeMap iterates paths lexicographically, which visits parents
+    // (`a`) before children (`a/b`) for the workspace's naming scheme.
+    for (path, stat) in &snapshot.span_stats {
+        let depth = path.matches('/').count();
+        let label = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{label:<28} count {:>6}   total {:>10}   self {:>10}   max {:>10}",
+            "",
+            stat.count,
+            fmt_ns(stat.total_ns),
+            fmt_ns(stat.self_ns),
+            fmt_ns(stat.max_ns),
+            indent = depth * 2,
+        );
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("obs counters\n");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "  {name:<40} {value}");
+        }
+    }
+    for (name, hist) in &snapshot.histograms {
+        let mean = if hist.total == 0 {
+            0.0
+        } else {
+            hist.sum as f64 / hist.total as f64
+        };
+        let _ = writeln!(
+            out,
+            "obs hist {name}: n={} mean={mean:.1} buckets={:?}",
+            hist.total, hist.counts
+        );
+    }
+    out
+}
+
+/// Writes `text` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates any I/O failure.
+pub fn write_file(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(text.as_bytes())
+}

@@ -1,0 +1,115 @@
+//! `scan-obs`: zero-dependency observability for the scan-BIST
+//! workspace — hierarchical spans, metrics, campaign progress, and
+//! machine-readable exporters.
+//!
+//! Fault-injection campaigns spend their time deep inside fault
+//! simulation and per-partition diagnosis replay; this crate is the
+//! measurement substrate that makes that time visible without
+//! perturbing results. It is intentionally *not* the `tracing` /
+//! `metrics` ecosystem: the workspace builds fully offline with no
+//! registry access (see `ROADMAP.md`), so the facade, registry, and
+//! exporters are vendored here in plain std Rust.
+//!
+//! # Design
+//!
+//! * **Off by default, one load when off.** Recording is gated by a
+//!   process-global atomic mask read with `Ordering::Relaxed`; every
+//!   entry point checks it first and returns immediately, so
+//!   uninstrumented runs stay byte-identical and effectively free.
+//! * **Sharded, contention-free recording.** Each thread records into
+//!   a thread-local shard merged into global state when the thread
+//!   exits — `std::thread::scope` campaign workers never contend on a
+//!   lock (see [`registry`]).
+//! * **Determinism-safe.** Instrumentation never touches RNG streams
+//!   or result ordering; enabling observability changes only what is
+//!   *reported*, never what is *computed*. The `scan-diagnosis` test
+//!   `obs_determinism.rs` pins this end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use scan_obs::ObsConfig;
+//!
+//! let config = ObsConfig {
+//!     trace: true,
+//!     ..ObsConfig::disabled()
+//! };
+//! scan_obs::init(&config);
+//! {
+//!     let _campaign = scan_obs::span!("campaign");
+//!     let _phase = scan_obs::span!("fault_sim");
+//!     scan_obs::metrics::add("fault_sim.error_maps", 500);
+//! }
+//! let snapshot = scan_obs::snapshot();
+//! assert_eq!(snapshot.span_stats["campaign/fault_sim"].count, 1);
+//! scan_obs::finish(&config).unwrap();
+//! # scan_obs::reset();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::must_use_candidate, clippy::module_name_repetitions)]
+#![allow(clippy::cast_precision_loss)]
+
+mod config;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod progress;
+pub mod registry;
+pub mod span;
+
+pub use config::ObsConfig;
+pub use registry::{flush_thread, snapshot, Histogram, Snapshot, SpanEvent, SpanStat};
+pub use span::SpanGuard;
+
+/// Current enable mask — nonzero if any recording is on. The
+/// disabled-path cost of every instrumentation point.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    registry::state() != 0
+}
+
+/// Installs `config` process-wide: resets all previously recorded data,
+/// restarts the monotonic epoch, and enables the requested recording.
+/// Call once at process start, before spawning recording threads.
+pub fn init(config: &ObsConfig) {
+    registry::reset();
+    registry::set_state(config.state_mask());
+}
+
+/// Stops recording and exports everything `config` asks for: the
+/// NDJSON event stream to [`ObsConfig::trace_path`], the JSON metrics
+/// snapshot to [`ObsConfig::metrics_path`], and the span tree to
+/// stderr when [`ObsConfig::summary`] is set. Recorded data is left in
+/// place (a later [`snapshot`] still sees it).
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the export files.
+pub fn finish(config: &ObsConfig) -> std::io::Result<()> {
+    registry::set_state(0);
+    if !config.is_enabled() {
+        return Ok(());
+    }
+    let snapshot = registry::snapshot();
+    if let Some(path) = &config.trace_path {
+        export::write_file(path, &export::ndjson(&snapshot))?;
+    }
+    if let Some(path) = &config.metrics_path {
+        export::write_file(path, &export::metrics_json(&snapshot))?;
+    }
+    if config.summary {
+        eprint!("{}", export::tree_summary(&snapshot));
+    }
+    Ok(())
+}
+
+/// Disables recording and discards everything recorded so far.
+/// Primarily for tests, which must leave the process-global state
+/// clean for their neighbours.
+pub fn reset() {
+    registry::set_state(0);
+    registry::reset();
+}

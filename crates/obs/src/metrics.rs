@@ -1,0 +1,55 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! Both are recorded into the calling thread's shard (no shared locks
+//! on the hot path) and merged when the thread exits or flushes. When
+//! metrics are disabled every entry point is a single relaxed atomic
+//! load.
+//!
+//! Naming convention (see `docs/OBSERVABILITY.md`): dotted lowercase
+//! paths, `<area>.<quantity>`, e.g. `fault_sim.error_maps` or
+//! `parallel.worker0.cases`.
+
+use crate::registry;
+
+/// Power-of-two bucket edges (1, 2, 4, … 65536): the workspace default
+/// for count-shaped quantities such as candidates per fault.
+pub const POW2_EDGES: &[u64] = &[
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 16384, 65536,
+];
+
+/// Adds `delta` to the counter `name`.
+pub fn add(name: &str, delta: u64) {
+    if !registry::metrics_enabled() {
+        return;
+    }
+    registry::add_counter(name, delta);
+}
+
+/// Increments the counter `name` by one.
+pub fn incr(name: &str) {
+    add(name, 1);
+}
+
+/// Adds `delta` to a counter whose name is built lazily; the closure
+/// only runs when metrics are enabled.
+pub fn add_fmt(name: impl FnOnce() -> String, delta: u64) {
+    if !registry::metrics_enabled() {
+        return;
+    }
+    registry::add_counter(&name(), delta);
+}
+
+/// Records `value` into the histogram `name` with the given ascending
+/// bucket `edges` (see [`registry::Histogram`] for bucket semantics).
+/// All recordings of one name must use the same edges.
+pub fn record(name: &str, edges: &[u64], value: u64) {
+    if !registry::metrics_enabled() {
+        return;
+    }
+    registry::record_histogram(name, edges, value);
+}
+
+/// Records `value` into a power-of-two-bucketed histogram.
+pub fn record_pow2(name: &str, value: u64) {
+    record(name, POW2_EDGES, value);
+}

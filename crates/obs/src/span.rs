@@ -1,0 +1,67 @@
+//! Hierarchical RAII spans with monotonic timing.
+//!
+//! A span measures the wall time between [`enter`] and the drop of the
+//! returned [`SpanGuard`]. Spans opened while another span is live on
+//! the same thread nest under it: the child's name is appended to the
+//! parent's slash-separated path, and the child's duration is excluded
+//! from the parent's *self* time. Each thread keeps its own span stack
+//! (see [`crate::registry`]), so `std::thread::scope` workers nest
+//! independently and without contention.
+//!
+//! When tracing is disabled ([`crate::ObsConfig::trace`] off) the entry
+//! points cost one relaxed atomic load and return an inert guard.
+
+use crate::registry;
+
+/// RAII guard closing a span when dropped. Obtain via [`enter`],
+/// [`enter_fmt`], or the [`span!`](crate::span!) macro.
+#[must_use = "a span measures until this guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (tracing disabled).
+    pub(crate) const INERT: SpanGuard = SpanGuard { active: false };
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            registry::pop_span();
+        }
+    }
+}
+
+/// Opens a span named `name` on the current thread.
+pub fn enter(name: &str) -> SpanGuard {
+    if !registry::trace_enabled() {
+        return SpanGuard::INERT;
+    }
+    registry::push_span(name);
+    SpanGuard { active: true }
+}
+
+/// Opens a span whose name is built lazily — the closure only runs when
+/// tracing is enabled, so dynamic labels cost nothing when disabled.
+pub fn enter_fmt(name: impl FnOnce() -> String) -> SpanGuard {
+    if !registry::trace_enabled() {
+        return SpanGuard::INERT;
+    }
+    registry::push_span(&name());
+    SpanGuard { active: true }
+}
+
+/// Opens a span: `span!("fault_sim")`, or with a lazily formatted name
+/// `span!("core[{}]", core_name)`. Bind the result (`let _span = …`) so
+/// the guard lives for the region being measured.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::enter($name)
+    };
+    ($($arg:tt)*) => {
+        $crate::span::enter_fmt(|| format!($($arg)*))
+    };
+}

@@ -60,7 +60,10 @@ impl<'a> FaultSimulator<'a> {
         let observed_nets: Vec<usize> = (0..view.len())
             .map(|pos| view.observed_net(netlist, pos).index())
             .collect();
-        let golden = Self::response_with(&sim, &observed_nets, view.len(), None);
+        let golden = {
+            let _span = scan_obs::span!("golden");
+            Self::response_with(&sim, &observed_nets, view.len(), None)
+        };
         Ok(FaultSimulator {
             sim,
             view,
@@ -97,6 +100,7 @@ impl<'a> FaultSimulator<'a> {
     /// Simulates `fault` and returns its error map (faulty XOR golden).
     #[must_use]
     pub fn error_map(&self, fault: &Fault) -> ErrorMap {
+        scan_obs::metrics::incr("fault_sim.error_maps");
         self.response(fault).xor(&self.golden)
     }
 
@@ -121,6 +125,7 @@ impl<'a> FaultSimulator<'a> {
     /// Error map of several simultaneous faults.
     #[must_use]
     pub fn error_map_multi(&self, faults: &[Fault]) -> ErrorMap {
+        scan_obs::metrics::incr("fault_sim.error_maps");
         self.response_multi(faults).xor(&self.golden)
     }
 
@@ -161,6 +166,7 @@ impl<'a> FaultSimulator<'a> {
     /// diagnostic information).
     #[must_use]
     pub fn sample_detected_faults(&self, count: usize, seed: u64) -> Vec<Fault> {
+        let _span = scan_obs::span!("sample_detected");
         let universe = FaultUniverse::collapsed(self.netlist());
         let mut faults: Vec<Fault> = universe
             .faults()
@@ -171,14 +177,18 @@ impl<'a> FaultSimulator<'a> {
         let mut rng = ScanRng::seed_from_u64(seed);
         rng.shuffle(&mut faults);
         let mut detected = Vec::with_capacity(count);
+        let mut tried = 0u64;
         for fault in faults {
             if detected.len() == count {
                 break;
             }
+            tried += 1;
             if self.is_detected(&fault) {
                 detected.push(fault);
             }
         }
+        scan_obs::metrics::add("fault_sim.faults_tried", tried);
+        scan_obs::metrics::add("fault_sim.faults_detected", detected.len() as u64);
         detected
     }
 
@@ -198,6 +208,7 @@ impl<'a> FaultSimulator<'a> {
         seed: u64,
     ) -> Vec<Vec<Fault>> {
         assert!(size >= 1, "multiplet size must be at least 1");
+        let _span = scan_obs::span!("sample_detected");
         let universe = FaultUniverse::collapsed(self.netlist());
         let mut faults: Vec<Fault> = universe
             .faults()
@@ -208,14 +219,18 @@ impl<'a> FaultSimulator<'a> {
         let mut rng = ScanRng::seed_from_u64(seed ^ 0x4D55_4C54); // "MULT"
         rng.shuffle(&mut faults);
         let mut result = Vec::with_capacity(count);
+        let mut tried = 0u64;
         for chunk in faults.chunks_exact(size) {
             if result.len() == count {
                 break;
             }
+            tried += 1;
             if self.error_map_multi(chunk).is_detected() {
                 result.push(chunk.to_vec());
             }
         }
+        scan_obs::metrics::add("fault_sim.faults_tried", tried);
+        scan_obs::metrics::add("fault_sim.faults_detected", result.len() as u64);
         result
     }
 }

@@ -10,13 +10,22 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> instrumented smoke campaign (--trace --metrics-out)"
+SMOKE_DIR=target/obs-smoke
+mkdir -p "$SMOKE_DIR"
+./target/release/scanbist \
+    --trace --trace-out "$SMOKE_DIR/trace.ndjson" \
+    --metrics-out "$SMOKE_DIR/metrics.json" \
+    diagnose s953 --patterns 64 --faults 50 > /dev/null 2> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json"
 
 echo "==> verify OK"
