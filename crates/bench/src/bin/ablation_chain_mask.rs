@@ -6,7 +6,7 @@
 //! select) splits each session per chain — `w×` the sessions, full
 //! cross-chain resolution. This ablation runs SOC 2 both ways.
 
-use scan_bench::{fmt_dr, render_table, table4_spec};
+use scan_bench::{fmt_dr, render_table, table4_spec, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::chain_mask::{analyze_chain_masked, diagnose_chain_masked};
 use scan_diagnosis::{diagnose, BistConfig, ChainLayout, DiagnosisPlan, DrAccumulator};
@@ -15,6 +15,7 @@ use scan_sim::FaultSimulator;
 use scan_soc::d695;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("ablation_chain_mask");
     let spec = table4_spec();
     let soc = d695::soc2().expect("SOC 2 builds");
     println!(
@@ -41,10 +42,9 @@ fn main() {
         let core_seed = spec
             .prpg_seed
             .wrapping_add((core_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let patterns =
-            scan_diagnosis::lfsr_patterns(core.netlist(), spec.num_patterns, core_seed);
-        let fsim = FaultSimulator::new(core.netlist(), core.view(), &patterns)
-            .expect("shapes match");
+        let patterns = scan_diagnosis::lfsr_patterns(core.netlist(), spec.num_patterns, core_seed);
+        let fsim =
+            FaultSimulator::new(core.netlist(), core.view(), &patterns).expect("shapes match");
         let faults = fsim.sample_detected_faults(200, spec.fault_seed);
         // Local→global mapping for this core.
         let mut local_to_global = vec![usize::MAX; core.view().len()];
@@ -77,14 +77,12 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["failing core", "baseline DR", "chain-masked DR"],
-            &rows
-        )
+        render_table(&["failing core", "baseline DR", "chain-masked DR"], &rows)
     );
     println!();
     println!(
         "sessions: baseline {baseline_sessions}, chain-masked {masked_sessions} (×{} chains)",
         soc.num_chains()
     );
+    obs.finish();
 }

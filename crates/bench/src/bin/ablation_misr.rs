@@ -7,12 +7,13 @@
 //! cells) and its DR impact as the MISR width grows — motivating the
 //! 16-bit register the experiments use.
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{CampaignSpec, PreparedCampaign};
 use scan_netlist::generate;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("ablation_misr");
     let circuit = generate::benchmark("s5378");
     println!("Ablation — MISR width on s5378, two-step, 8 groups, 4 partitions, 300 faults");
     println!();
@@ -22,7 +23,9 @@ fn main() {
         spec.num_faults = 300;
         spec.misr_degree = degree;
         let campaign = PreparedCampaign::from_circuit(&circuit, &spec).expect("campaign prepares");
-        let report = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
+        let report = campaign
+            .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
+            .expect("two-step run");
         rows.push(vec![
             degree.to_string(),
             fmt_dr(report.dr),
@@ -34,5 +37,8 @@ fn main() {
         render_table(&["MISR width", "DR two-step", "lost true cells"], &rows)
     );
     println!();
-    println!("lost true cells = failing cells dropped from the candidate set by signature aliasing");
+    println!(
+        "lost true cells = failing cells dropped from the candidate set by signature aliasing"
+    );
+    obs.finish();
 }

@@ -7,12 +7,13 @@
 //! degrade on a shuffled chain while random selection is indifferent to
 //! ordering.
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{CampaignSpec, PreparedCampaign};
 use scan_netlist::{generate, ScanOrdering};
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("ablation_ordering");
     let mut spec = CampaignSpec::new(128, 8, 4);
     spec.num_faults = 300;
     println!(
@@ -30,11 +31,16 @@ fn main() {
         ] {
             let mut s = spec;
             s.ordering = ordering;
-            let campaign =
-                PreparedCampaign::from_circuit(&circuit, &s).expect("campaign prepares");
-            let interval = campaign.run_parallel(Scheme::IntervalBased, 0).expect("interval run");
-            let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
-            let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
+            let campaign = PreparedCampaign::from_circuit(&circuit, &s).expect("campaign prepares");
+            let interval = campaign
+                .run_parallel(Scheme::IntervalBased, 0)
+                .expect("interval run");
+            let random = campaign
+                .run_parallel(Scheme::RandomSelection, 0)
+                .expect("random run");
+            let two_step = campaign
+                .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
+                .expect("two-step run");
             rows.push(vec![
                 label.to_owned(),
                 fmt_dr(interval.dr_by_prefix[0]),
@@ -60,4 +66,5 @@ fn main() {
             )
         );
     }
+    obs.finish();
 }

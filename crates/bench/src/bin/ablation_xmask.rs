@@ -5,12 +5,13 @@
 //! and diagnosis loses both evidence and suspects. This sweep measures
 //! how gracefully the schemes degrade as the masked fraction grows.
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{CampaignSpec, PreparedCampaign};
 use scan_netlist::generate;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("ablation_xmask");
     let circuit = generate::benchmark("s5378");
     println!("Ablation — X-masked cell fraction on s5378, 8 groups, 8 partitions, 300 faults");
     println!();
@@ -19,11 +20,14 @@ fn main() {
         let mut spec = CampaignSpec::new(128, 8, 8);
         spec.num_faults = 300;
         spec.x_mask_fraction = fraction;
-        let campaign =
-            PreparedCampaign::from_circuit(&circuit, &spec).expect("campaign prepares");
+        let campaign = PreparedCampaign::from_circuit(&circuit, &spec).expect("campaign prepares");
         let masked = campaign.masked_cells().len();
-        let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
-        let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
+        let random = campaign
+            .run_parallel(Scheme::RandomSelection, 0)
+            .expect("random run");
+        let two_step = campaign
+            .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
+            .expect("two-step run");
         rows.push(vec![
             format!("{:.0}%", fraction * 100.0),
             masked.to_string(),
@@ -45,4 +49,5 @@ fn main() {
             &rows
         )
     );
+    obs.finish();
 }

@@ -80,7 +80,10 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get() / 2)
         .clamp(1, EXPERIMENTS.len());
-    eprintln!("running {} experiments on {workers} worker(s)…", EXPERIMENTS.len());
+    eprintln!(
+        "running {} experiments on {workers} worker(s)…",
+        EXPERIMENTS.len()
+    );
 
     let outcomes: Vec<Mutex<Option<Outcome>>> =
         EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
@@ -88,7 +91,8 @@ fn main() {
     let completed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            scope.spawn(|| {
+                loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(name) = EXPERIMENTS.get(index) else {
                     break;
@@ -130,6 +134,10 @@ fn main() {
                 *outcomes[index].lock().expect("outcome slot") = Some(outcome);
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                 scan_obs::progress::tick("experiments", done, EXPERIMENTS.len());
+                }
+                // Fold this worker's shard before the scope join: the
+                // TLS-drop merge can race the parent's export snapshot.
+                scan_obs::flush_thread();
             });
         }
     });

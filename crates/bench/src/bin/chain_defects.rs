@@ -8,7 +8,7 @@
 //! system fault — motivating the standard practice of flushing the
 //! chain before logic diagnosis.
 
-use scan_bench::render_table;
+use scan_bench::{render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{diagnose, lfsr_patterns, BistConfig, ChainLayout, DiagnosisPlan};
 use scan_netlist::{generate, ScanView};
@@ -16,13 +16,12 @@ use scan_sim::chain_fault::flush_observation;
 use scan_sim::{locate_chain_fault, simulate_chain_fault, ChainFault, FaultSimulator};
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("chain_defects");
     let circuit = generate::benchmark("s953");
     let view = ScanView::natural(&circuit, true);
     let patterns = lfsr_patterns(&circuit, 128, 0xACE1);
     let chain_cells = view.num_cells();
-    println!(
-        "Scan chain defects — s953 ({chain_cells} scan cells), 128 patterns"
-    );
+    println!("Scan chain defects — s953 ({chain_cells} scan cells), 128 patterns");
     println!();
 
     // (a) Flush-test localization sweep.
@@ -85,5 +84,8 @@ fn main() {
         )
     );
     println!();
-    println!("a chain defect floods the response — flush the chain first, then run logic diagnosis");
+    println!(
+        "a chain defect floods the response — flush the chain first, then run logic diagnosis"
+    );
+    obs.finish();
 }

@@ -2,12 +2,13 @@
 //! converted through the scan geometry, plus the §5 comparison of the
 //! TestRail against a per-core test bus with pattern reloads.
 
-use scan_bench::{render_table, table3_spec, PAPER_SCHEMES};
+use scan_bench::{render_table, table3_spec, ObsSession, PAPER_SCHEMES};
 use scan_diagnosis::cost::{soc_access_cost, DiagnosisCostModel};
 use scan_diagnosis::soc_diag::diagnose_each_core;
 use scan_soc::d695;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("diagnosis_time");
     let mut spec = table3_spec();
     spec.partitions = 16;
     let soc = d695::soc1().expect("SOC 1 builds");
@@ -50,13 +51,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["failing core", "random: partitions (time)", "two-step: partitions (time)"],
+            &[
+                "failing core",
+                "random: partitions (time)",
+                "two-step: partitions (time)"
+            ],
             &rows
         )
     );
 
     // TestRail vs per-core test bus (§5's dismissed alternative).
-    let core_lens: Vec<usize> = soc.cores().iter().map(scan_soc::CoreModule::num_positions).collect();
+    let core_lens: Vec<usize> = soc
+        .cores()
+        .iter()
+        .map(scan_soc::CoreModule::num_positions)
+        .collect();
     let access = soc_access_cost(&core_lens, spec.num_patterns, spec.groups, 8, 16, 1_000_000);
     println!();
     println!(
@@ -64,4 +73,5 @@ fn main() {
         access.testrail_cycles as f64 / 1e6,
         access.test_bus_cycles as f64 / 1e6
     );
+    obs.finish();
 }

@@ -6,12 +6,14 @@
 //! The binary reproduces the figure's artifacts: the true failing-cell
 //! bitmap, each scheme's groups, and the resulting suspect counts.
 
+use scan_bench::ObsSession;
 use scan_bist::Scheme;
 use scan_diagnosis::{diagnose, BistConfig, ChainLayout, DiagnosisPlan};
 use scan_netlist::{generate, ScanView};
 use scan_sim::{ErrorMap, FaultSimulator};
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("figure3");
     let circuit = generate::benchmark("s953");
     let view = ScanView::natural(&circuit, true);
     let patterns = scan_diagnosis::lfsr_patterns(&circuit, 200, 0xACE1);
@@ -92,12 +94,10 @@ fn main() {
             let verdict = if outcome.failed(0, g) { "FAIL" } else { "pass" };
             println!("  group {g} [{verdict}]: {span}");
         }
-        println!(
-            "  suspect failing scan cells: {}",
-            diag.num_candidates()
-        );
+        println!("  suspect failing scan cells: {}", diag.num_candidates());
         println!();
     }
+    obs.finish();
 }
 
 fn patterns_detecting(errors: &ErrorMap) -> usize {

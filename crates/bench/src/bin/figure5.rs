@@ -3,7 +3,7 @@
 //! chain, for random-selection vs two-step partitioning, per failing
 //! core. Fewer partitions means shorter diagnosis time.
 
-use scan_bench::{render_table, table3_spec, PAPER_SCHEMES};
+use scan_bench::{render_table, table3_spec, ObsSession, PAPER_SCHEMES};
 use scan_diagnosis::soc_diag::diagnose_each_core_parallel;
 use scan_soc::d695;
 
@@ -11,6 +11,7 @@ const TARGET_DR: f64 = 0.5;
 const MAX_PARTITIONS: usize = 16;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("figure5");
     let mut spec = table3_spec();
     spec.partitions = MAX_PARTITIONS;
     let soc = d695::soc1().expect("SOC 1 builds");
@@ -19,7 +20,8 @@ fn main() {
         spec.groups
     );
     println!();
-    let rows_data = diagnose_each_core_parallel(&soc, &spec, &PAPER_SCHEMES, 0).expect("SOC campaign runs");
+    let rows_data =
+        diagnose_each_core_parallel(&soc, &spec, &PAPER_SCHEMES, 0).expect("SOC campaign runs");
     let fmt = |n: Option<usize>| n.map_or_else(|| format!(">{MAX_PARTITIONS}"), |v| v.to_string());
     let rows: Vec<Vec<String>> = rows_data
         .iter()
@@ -33,9 +35,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["failing core", "random-selection", "two-step"],
-            &rows
-        )
+        render_table(&["failing core", "random-selection", "two-step"], &rows)
     );
+    obs.finish();
 }

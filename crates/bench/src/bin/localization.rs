@@ -3,11 +3,12 @@
 //! motivating failure-analysis scenario, quantified as top-1
 //! localization accuracy per scheme.
 
-use scan_bench::{render_table, PAPER_SCHEMES};
+use scan_bench::{render_table, ObsSession, PAPER_SCHEMES};
 use scan_diagnosis::{CampaignSpec, PreparedCampaign};
 use scan_soc::d695;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("localization");
     let mut spec = CampaignSpec::new(128, 32, 4);
     spec.num_faults = 200;
     println!(
@@ -18,11 +19,12 @@ fn main() {
     let soc = d695::soc1().expect("SOC 1 builds");
     let mut rows = Vec::new();
     for (index, core) in soc.cores().iter().enumerate() {
-        let campaign =
-            PreparedCampaign::from_soc(&soc, index, &spec).expect("campaign prepares");
+        let campaign = PreparedCampaign::from_soc(&soc, index, &spec).expect("campaign prepares");
         let mut cells = vec![core.name().to_owned()];
         for &scheme in &PAPER_SCHEMES {
-            let report = campaign.run_localization_parallel(scheme, 0).expect("localization runs");
+            let report = campaign
+                .run_localization_parallel(scheme, 0)
+                .expect("localization runs");
             cells.push(format!(
                 "{:.1}% (margin {:.3})",
                 report.top1_accuracy * 100.0,
@@ -34,11 +36,9 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["faulty core", "random-selection", "two-step"],
-            &rows
-        )
+        render_table(&["faulty core", "random-selection", "two-step"], &rows)
     );
     println!();
     println!("accuracy = fraction of faults whose highest candidate-density core is the true faulty core");
+    obs.finish();
 }

@@ -6,12 +6,13 @@
 //! which interval partitioning covers with few groups. This experiment
 //! injects fault multiplets of growing size and compares schemes.
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{CampaignSpec, PreparedCampaign};
 use scan_netlist::generate;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("multifault");
     let circuit = generate::benchmark("s5378");
     let mut spec = CampaignSpec::new(128, 8, 8);
     spec.num_faults = 250;
@@ -24,8 +25,12 @@ fn main() {
     for size in [1usize, 2, 3, 5] {
         let campaign = PreparedCampaign::from_circuit_multiplets(&circuit, &spec, size)
             .expect("campaign prepares");
-        let random = campaign.run_parallel(Scheme::RandomSelection, 0).expect("random run");
-        let two_step = campaign.run_parallel(Scheme::TWO_STEP_DEFAULT, 0).expect("two-step run");
+        let random = campaign
+            .run_parallel(Scheme::RandomSelection, 0)
+            .expect("random run");
+        let two_step = campaign
+            .run_parallel(Scheme::TWO_STEP_DEFAULT, 0)
+            .expect("two-step run");
         rows.push(vec![
             size.to_string(),
             format!("{:.1}", two_step.mean_actual),
@@ -49,4 +54,5 @@ fn main() {
             &rows
         )
     );
+    obs.finish();
 }

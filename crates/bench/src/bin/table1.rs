@@ -16,8 +16,8 @@ fn main() {
         "Table 1 — s953, {} patterns, {} groups/partition, {} faults",
         spec.num_patterns, spec.groups, spec.num_faults
     );
-    let campaign = PreparedCampaign::from_circuit(&circuit, &spec)
-        .expect("s953 campaign must prepare");
+    let campaign =
+        PreparedCampaign::from_circuit(&circuit, &spec).expect("s953 campaign must prepare");
     eprintln!("(diagnosing {} detected faults)", campaign.num_faults());
 
     let interval = campaign

@@ -23,7 +23,8 @@ fn main() {
         spec.num_faults
     );
     println!();
-    let rows_data = diagnose_each_core_parallel(&soc, &spec, &PAPER_SCHEMES, 0).expect("SOC campaign runs");
+    let rows_data =
+        diagnose_each_core_parallel(&soc, &spec, &PAPER_SCHEMES, 0).expect("SOC campaign runs");
     let rows: Vec<Vec<String>> = rows_data
         .iter()
         .map(|row| {

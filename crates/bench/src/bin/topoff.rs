@@ -8,12 +8,13 @@
 //! random-resistant faults.
 
 use scan_atpg::{run_atpg, Podem, PodemLimits, PodemResult};
-use scan_bench::render_table;
+use scan_bench::{render_table, ObsSession};
 use scan_diagnosis::lfsr_patterns;
 use scan_netlist::{generate, ScanView};
 use scan_sim::{FaultSimulator, FaultUniverse};
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("topoff");
     println!("Pseudorandom vs deterministic pattern sources (collapsed stuck-at faults)");
     println!();
     let mut rows = Vec::new();
@@ -30,8 +31,8 @@ fn main() {
             .iter()
             .map(|f| fsim.is_detected(f))
             .collect();
-        let random_cov = random_detected.iter().filter(|&&d| d).count() as f64
-            / universe.len().max(1) as f64;
+        let random_cov =
+            random_detected.iter().filter(|&&d| d).count() as f64 / universe.len().max(1) as f64;
 
         // Pure deterministic ATPG.
         let atpg = run_atpg(&circuit, &PodemLimits::default(), 1);
@@ -81,4 +82,5 @@ fn main() {
     );
     println!();
     println!("top-off cubes = deterministic tests for faults the 128 pseudorandom patterns miss");
+    obs.finish();
 }

@@ -6,13 +6,14 @@
 //! the two faulty cores' chain segments, and (b) whether density-based
 //! localization still ranks both faulty cores on top (top-2 accuracy).
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::{diagnose, BistConfig, ChainLayout, DiagnosisPlan, DrAccumulator};
 use scan_sim::FaultSimulator;
 use scan_soc::d695;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("two_faulty_cores");
     let soc = d695::soc1().expect("SOC 1 builds");
     let num_patterns = 128usize;
     let groups = 32u16;
@@ -99,11 +100,7 @@ fn main() {
             }
             rows.push(vec![
                 scheme.name().to_owned(),
-                format!(
-                    "{} + {}",
-                    soc.cores()[a].name(),
-                    soc.cores()[b].name()
-                ),
+                format!("{} + {}", soc.cores()[a].name(), soc.cores()[b].name()),
                 fmt_dr(acc.dr()),
                 format!("{:.1}%", 100.0 * top2_hits as f64 / n_cases as f64),
             ]);
@@ -116,4 +113,5 @@ fn main() {
             &rows
         )
     );
+    obs.finish();
 }

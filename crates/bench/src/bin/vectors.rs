@@ -7,7 +7,7 @@
 //! intersecting failing groups identifies the failing vectors. The
 //! resolution metric mirrors DR with vectors in place of cells.
 
-use scan_bench::{fmt_dr, render_table};
+use scan_bench::{fmt_dr, render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::vector_diag::{actual_failing_vectors, VectorDiagnosisPlan};
 use scan_diagnosis::{lfsr_patterns, ChainLayout, DrAccumulator, ResponseModel};
@@ -15,7 +15,10 @@ use scan_netlist::{generate, ScanView};
 use scan_sim::FaultSimulator;
 
 fn main() {
-    println!("Failing-vector identification — 128 patterns, 8 pattern-groups, 4 partitions, 300 faults");
+    let (obs, _rest) = ObsSession::start("vectors");
+    println!(
+        "Failing-vector identification — 128 patterns, 8 pattern-groups, 4 partitions, 300 faults"
+    );
     println!();
     let mut rows = Vec::new();
     for name in ["s953", "s5378", "s9234"] {
@@ -33,8 +36,7 @@ fn main() {
         ] {
             let model = ResponseModel::new(ChainLayout::single_chain(view.len()), 128, 16)
                 .expect("model builds");
-            let plan = VectorDiagnosisPlan::new(model, 8, 4, scheme, 16, 1)
-                .expect("plan builds");
+            let plan = VectorDiagnosisPlan::new(model, 8, 4, scheme, 16, 1).expect("plan builds");
             let mut acc = DrAccumulator::new();
             for fault in &faults {
                 let errors = fsim.error_map(fault);
@@ -67,5 +69,8 @@ fn main() {
         )
     );
     println!();
-    println!("vector-DR = (Σ candidate vectors − Σ actual failing vectors) / Σ actual failing vectors");
+    println!(
+        "vector-DR = (Σ candidate vectors − Σ actual failing vectors) / Σ actual failing vectors"
+    );
+    obs.finish();
 }

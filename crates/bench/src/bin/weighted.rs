@@ -7,14 +7,17 @@
 //! of that coverage for free. This experiment compares uniform vs
 //! weighted stuck-at coverage at equal pattern counts.
 
-use scan_bench::render_table;
+use scan_bench::{render_table, ObsSession};
 use scan_diagnosis::lfsr_patterns;
 use scan_netlist::scoap::suggested_input_weights;
 use scan_netlist::{generate, ScanView};
 use scan_sim::{FaultSimulator, FaultUniverse, PatternSet};
 
 fn main() {
-    println!("Uniform vs weighted pseudo-random coverage (collapsed stuck-at faults, 128 patterns)");
+    let (obs, _rest) = ObsSession::start("weighted");
+    println!(
+        "Uniform vs weighted pseudo-random coverage (collapsed stuck-at faults, 128 patterns)"
+    );
     println!();
     let mut rows = Vec::new();
     for name in ["s298", "s953", "s5378", "s9234"] {
@@ -49,4 +52,5 @@ fn main() {
             &rows
         )
     );
+    obs.finish();
 }

@@ -6,7 +6,7 @@
 //! per session), on the same fault evidence as the cell-axis
 //! experiments.
 
-use scan_bench::render_table;
+use scan_bench::{render_table, ObsSession};
 use scan_bist::Scheme;
 use scan_diagnosis::windows::analyze_windows;
 use scan_diagnosis::{lfsr_patterns, BistConfig, ChainLayout, DiagnosisPlan, DrAccumulator};
@@ -14,6 +14,7 @@ use scan_netlist::{generate, ScanView};
 use scan_sim::FaultSimulator;
 
 fn main() {
+    let (obs, _rest) = ObsSession::start("windows");
     let circuit = generate::benchmark("s5378");
     let view = ScanView::natural(&circuit, true);
     let num_patterns = 128usize;
@@ -40,8 +41,7 @@ fn main() {
             let bits: Vec<(usize, usize)> = errors.iter_bits().collect();
             let outcome = analyze_windows(&plan, window, bits.iter().copied());
             let candidates = outcome.candidate_vectors();
-            let actual: std::collections::HashSet<usize> =
-                bits.iter().map(|&(_, t)| t).collect();
+            let actual: std::collections::HashSet<usize> = bits.iter().map(|&(_, t)| t).collect();
             acc.add(candidates.len(), actual.len());
         }
         rows.push(vec![
@@ -58,5 +58,8 @@ fn main() {
         )
     );
     println!();
-    println!("window 128 = one final signature (no time information); window 1 = per-pattern snapshots");
+    println!(
+        "window 128 = one final signature (no time information); window 1 = per-pattern snapshots"
+    );
+    obs.finish();
 }

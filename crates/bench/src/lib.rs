@@ -14,6 +14,7 @@ use scan_bist::Scheme;
 use scan_diagnosis::CampaignSpec;
 
 pub mod obs;
+pub mod suite;
 pub mod timing;
 
 pub use obs::ObsSession;

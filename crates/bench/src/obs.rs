@@ -1,15 +1,33 @@
 //! Observability plumbing shared by the experiment binaries.
 //!
 //! Every table/figure binary accepts the same flags the `scanbist` CLI
-//! does — `--trace`, `--trace-out <path>`, `--metrics-out <path>`, and
-//! `--progress` — parsed here from the process arguments before the
-//! binary's own positionals. [`ObsSession::start`] installs the
-//! configuration process-wide; [`ObsSession::finish`] exports the
-//! NDJSON stream / metrics snapshot and prints the span-tree summary.
-//! With no flags given, observability stays disabled and the binary's
-//! output is byte-identical to an uninstrumented build.
+//! does — `--trace`, `--trace-out <path>`, `--metrics-out <path>`,
+//! `--profile`, `--profile-out <path>`, and `--progress` — parsed here
+//! from the process arguments before the binary's own positionals.
+//! [`ObsSession::start`] installs the configuration process-wide;
+//! [`ObsSession::finish`] exports the NDJSON stream / metrics snapshot
+//! / collapsed-stack profile and prints the span-tree summary. With no
+//! flags given, observability stays disabled and the binary's output
+//! is byte-identical to an uninstrumented build.
+//!
+//! `--help` / `-h` is also handled here, uniformly for all experiment
+//! binaries: usage goes to *stderr* (stdout is reserved for the
+//! machine-readable table/figure payload) and the process exits 0.
 
 use scan_obs::ObsConfig;
+
+/// The usage text shared by every experiment binary. Printed to stderr
+/// by [`ObsSession::start`] on `--help` so stdout stays parseable.
+#[must_use]
+pub fn usage(binary: &str) -> String {
+    format!(
+        "usage: {binary} [ARGS] [--trace] [--trace-out <path>] [--metrics-out <path>]\n\
+         \x20          [--profile] [--profile-out <path>] [--progress]\n\
+         Experiment binary from the scan-BIST workspace. The table/figure payload\n\
+         goes to stdout; diagnostics, progress, and observability summaries go to\n\
+         stderr. See EXPERIMENTS.md for the binary's own arguments."
+    )
+}
 
 /// An active observability session for one experiment binary.
 #[must_use = "call finish() so exports are written"]
@@ -22,8 +40,14 @@ impl ObsSession {
     /// the resulting configuration, and returns the session plus the
     /// remaining (non-observability) arguments in order. `binary` names
     /// the default trace file, `trace_<binary>.ndjson`.
+    /// `--help` / `-h` anywhere in the arguments prints the shared
+    /// usage text to stderr and exits 0 before any work happens.
     pub fn start(binary: &str) -> (ObsSession, Vec<String>) {
         let (config, rest) = parse_env_args(binary, std::env::args().skip(1));
+        if rest.iter().any(|a| a == "--help" || a == "-h") {
+            eprintln!("{}", usage(binary));
+            std::process::exit(0);
+        }
         scan_obs::init(&config);
         (ObsSession { config }, rest)
     }
@@ -68,6 +92,14 @@ pub fn parse_env_args(
                     config.metrics = false;
                 }
             }
+            "--profile" => config.profile = true,
+            "--profile-out" => {
+                config.profile = true;
+                config.profile_path = args.next().map(Into::into);
+                if config.profile_path.is_none() {
+                    eprintln!("warning: --profile-out needs a path; printing to stderr only");
+                }
+            }
             "--progress" => config.progress = true,
             _ => rest.push(arg),
         }
@@ -108,11 +140,43 @@ mod tests {
     fn explicit_paths_and_positionals_interleave() {
         let (config, rest) = split(
             "table3",
-            &["out", "--metrics-out", "m.json", "--progress", "--trace-out", "t.ndjson"],
+            &[
+                "out",
+                "--metrics-out",
+                "m.json",
+                "--progress",
+                "--trace-out",
+                "t.ndjson",
+            ],
         );
         assert!(config.trace && config.metrics && config.progress);
         assert_eq!(config.metrics_path.as_deref(), Some("m.json".as_ref()));
         assert_eq!(config.trace_path.as_deref(), Some("t.ndjson".as_ref()));
         assert_eq!(rest, vec!["out".to_owned()]);
+    }
+
+    #[test]
+    fn profile_flags_enable_profiling() {
+        let (config, rest) = split("fig4", &["--profile"]);
+        assert!(config.profile && config.profile_path.is_none());
+        assert!(config.profiling() && rest.is_empty());
+
+        let (config, _) = split("fig4", &["--profile-out", "p.folded"]);
+        assert!(config.profile);
+        assert_eq!(config.profile_path.as_deref(), Some("p.folded".as_ref()));
+    }
+
+    #[test]
+    fn help_flag_stays_in_rest_for_start_to_handle() {
+        let (config, rest) = split("table1", &["--help"]);
+        assert!(!config.is_enabled());
+        assert_eq!(rest, vec!["--help".to_owned()]);
+    }
+
+    #[test]
+    fn usage_names_the_binary_and_shared_flags() {
+        let text = usage("table1");
+        assert!(text.starts_with("usage: table1"));
+        assert!(text.contains("--profile-out") && text.contains("--metrics-out"));
     }
 }

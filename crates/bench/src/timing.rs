@@ -31,7 +31,40 @@ impl Measurement {
     pub fn median(&self) -> Duration {
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        sorted.get(sorted.len().saturating_sub(1) / 2).copied().unwrap_or_default()
+        sorted
+            .get(sorted.len().saturating_sub(1) / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// 95th-percentile sample (nearest rank, after the suite's IQR
+    /// outlier rejection — see [`crate::suite::stats_from_samples`]).
+    #[must_use]
+    pub fn p95(&self) -> Duration {
+        let ns: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .collect();
+        if ns.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(crate::suite::stats_from_samples(&ns).p95_ns)
+    }
+
+    /// Interquartile range of the samples — the spread the suite's
+    /// outlier rejection is calibrated against.
+    #[must_use]
+    pub fn iqr(&self) -> Duration {
+        let ns: Vec<u64> = self
+            .samples
+            .iter()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .collect();
+        if ns.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(crate::suite::stats_from_samples(&ns).iqr_ns)
     }
 
     /// Mean sample.
@@ -138,6 +171,8 @@ mod tests {
         assert_eq!(m.min(), Duration::from_nanos(10));
         assert_eq!(m.median(), Duration::from_nanos(20));
         assert_eq!(m.mean(), Duration::from_nanos(20));
+        assert_eq!(m.p95(), Duration::from_nanos(30));
+        assert_eq!(m.iqr(), Duration::from_nanos(20));
     }
 
     #[test]

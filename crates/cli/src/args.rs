@@ -6,7 +6,7 @@ use std::fmt;
 use scan_bist::Scheme;
 
 /// A parsed `scanbist` invocation.
-#[derive(Clone, Eq, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Command {
     /// `scanbist parse <file.bench>` — parse and validate a netlist.
     Parse {
@@ -64,6 +64,35 @@ pub enum Command {
         /// Partitioning scheme.
         scheme: Scheme,
     },
+    /// `scanbist bench [options]` — calibrated performance kernels
+    /// with baseline comparison (see `docs/BENCHMARKS.md`).
+    Bench {
+        /// Suite name recorded in the output (`diagnosis` by default).
+        suite: String,
+        /// Small circuit / low repeat counts for smoke runs.
+        quick: bool,
+        /// Timed repetitions per kernel (`None` = suite default).
+        repeats: Option<usize>,
+        /// Warmup repetitions per kernel (`None` = suite default).
+        warmup: Option<usize>,
+        /// Where to write the `BENCH_<suite>.json` document
+        /// (`None` = `BENCH_<suite>.json` in the working directory).
+        out: Option<String>,
+        /// Baseline file to compare the fresh run against.
+        baseline: Option<String>,
+        /// Compare this previously written result file against
+        /// `--baseline` instead of running the kernels.
+        compare: Option<String>,
+        /// Regression threshold as a fraction (0.5 = flag kernels more
+        /// than 50% slower than baseline).
+        threshold: f64,
+    },
+    /// `scanbist explain <audit.ndjson>` — summarize a diagnosis audit
+    /// trace written by `--audit-out`.
+    Explain {
+        /// Path to the NDJSON audit trace.
+        path: String,
+    },
     /// `scanbist help` / `--help`.
     Help,
 }
@@ -102,20 +131,26 @@ where
 }
 
 /// A parsed invocation: the command plus global output options.
-#[derive(Clone, Eq, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Invocation {
     /// Emit one JSON object instead of human-readable text (supported
     /// by `coverage`, `atpg`, `diagnose`, and `soc`).
     pub json: bool,
     /// Observability settings from the global `--trace` /
-    /// `--trace-out` / `--metrics-out` / `--progress` flags.
+    /// `--trace-out` / `--metrics-out` / `--profile` /
+    /// `--profile-out` / `--progress` flags.
     pub obs: scan_obs::ObsConfig,
+    /// Where diagnosis audit traces (NDJSON, one event per fault) are
+    /// written; from the global `--audit-out <path>` flag. Honoured by
+    /// `diagnose` campaigns.
+    pub audit_path: Option<std::path::PathBuf>,
     /// The command to execute.
     pub command: Command,
 }
 
 /// Parses the full argument list including global flags (`--json`,
-/// `--trace`, `--trace-out <path>`, `--metrics-out <path>`, and
+/// `--trace`, `--trace-out <path>`, `--metrics-out <path>`,
+/// `--profile`, `--profile-out <path>`, `--audit-out <path>`, and
 /// `--progress`, all of which appear before the subcommand).
 ///
 /// # Errors
@@ -128,6 +163,7 @@ where
     let mut rest: Vec<&str> = args.into_iter().collect();
     let mut json = false;
     let mut obs = scan_obs::ObsConfig::disabled();
+    let mut audit_path = None;
     loop {
         match rest.first().copied() {
             Some("--json") => {
@@ -152,6 +188,21 @@ where
                 obs.metrics = true;
                 obs.metrics_path = Some(path.into());
             }
+            Some("--profile") => {
+                obs.profile = true;
+                rest.remove(0);
+            }
+            Some("--profile-out") => {
+                rest.remove(0);
+                let path = take_front("--profile-out", &mut rest)?;
+                obs.profile = true;
+                obs.profile_path = Some(path.into());
+            }
+            Some("--audit-out") => {
+                rest.remove(0);
+                let path = take_front("--audit-out", &mut rest)?;
+                audit_path = Some(path.into());
+            }
             Some("--progress") => {
                 obs.progress = true;
                 rest.remove(0);
@@ -165,6 +216,7 @@ where
     Ok(Invocation {
         json,
         obs,
+        audit_path,
         command: parse_args(rest)?,
     })
 }
@@ -272,10 +324,65 @@ where
                 scheme,
             })
         }
+        "bench" => parse_bench(words),
+        "explain" => {
+            let path = take_value("explain", &mut words)?.to_owned();
+            ensure_done(words)?;
+            Ok(Command::Explain { path })
+        }
         other => Err(ParseArgsError(format!(
             "unknown command `{other}` (try `scanbist help`)"
         ))),
     }
+}
+
+fn parse_bench<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut suite = "diagnosis".to_owned();
+    let mut quick = false;
+    let mut repeats = None;
+    let mut warmup = None;
+    let mut out = None;
+    let mut baseline = None;
+    let mut compare = None;
+    let mut threshold = 0.5f64;
+    while let Some(flag) = words.next() {
+        match flag {
+            "--suite" => take_value(flag, &mut words)?.clone_into(&mut suite),
+            "--quick" => quick = true,
+            "--repeats" => repeats = Some(parse_num(take_value(flag, &mut words)?)?),
+            "--warmup" => warmup = Some(parse_num(take_value(flag, &mut words)?)?),
+            "--out" => out = Some(take_value(flag, &mut words)?.to_owned()),
+            "--baseline" => baseline = Some(take_value(flag, &mut words)?.to_owned()),
+            "--compare" => compare = Some(take_value(flag, &mut words)?.to_owned()),
+            "--threshold" => {
+                threshold = parse_num(take_value(flag, &mut words)?)?;
+                if !(threshold.is_finite() && threshold >= 0.0) {
+                    return Err(ParseArgsError(
+                        "`--threshold` must be a non-negative fraction".into(),
+                    ));
+                }
+            }
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    if compare.is_some() && baseline.is_none() {
+        return Err(ParseArgsError(
+            "`--compare` requires `--baseline <file>`".into(),
+        ));
+    }
+    Ok(Command::Bench {
+        suite,
+        quick,
+        repeats,
+        warmup,
+        out,
+        baseline,
+        compare,
+        threshold,
+    })
 }
 
 fn ensure_done<'a, I: Iterator<Item = &'a str>>(mut words: I) -> Result<(), ParseArgsError> {
@@ -307,6 +414,11 @@ GLOBAL FLAGS (before the command):
                         and print a span-tree summary to stderr
   --trace-out <path>    like --trace, NDJSON stream to <path>
   --metrics-out <path>  write a JSON metrics snapshot to <path>
+  --profile             print a span self-time hot-spot table to stderr
+  --profile-out <path>  like --profile, plus a collapsed-stack
+                        (flamegraph folded format) export to <path>
+  --audit-out <path>    write a per-fault diagnosis audit trace
+                        (NDJSON) during `diagnose` campaigns
   --progress            periodic per-shard progress lines on stderr
 
 COMMANDS:
@@ -320,6 +432,10 @@ COMMANDS:
                     [--fault NET/SA0]   (single-fault evidence report)
   scanbist soc <file.soc> --faulty <core> [--groups G]
                     [--partitions P] [--scheme ...]
+  scanbist bench [--suite NAME] [--quick] [--repeats N] [--warmup N]
+                    [--out FILE] [--baseline FILE] [--threshold FRAC]
+                    [--compare FILE]   (file-vs-file baseline check)
+  scanbist explain <audit.ndjson>     (summarize an audit trace)
 
 <circuit> is an ISCAS-89 benchmark name (synthetic stand-in; `s27`
 is the embedded real netlist) or a path to a `.bench` file.
@@ -403,6 +519,81 @@ mod tests {
         assert!(!plain.obs.is_enabled());
 
         assert!(parse_invocation(["--metrics-out"]).is_err());
+    }
+
+    #[test]
+    fn parses_profile_and_audit_flags() {
+        let inv = parse_invocation(["--profile", "stats", "s27"]).unwrap();
+        assert!(inv.obs.profile && inv.obs.profile_path.is_none());
+        assert!(inv.obs.profiling() && inv.audit_path.is_none());
+
+        let inv = parse_invocation([
+            "--profile-out",
+            "out/p.folded",
+            "--audit-out",
+            "out/a.ndjson",
+            "diagnose",
+            "s27",
+        ])
+        .unwrap();
+        assert!(inv.obs.profile);
+        assert_eq!(inv.obs.profile_path.as_deref(), Some("out/p.folded".as_ref()));
+        assert_eq!(inv.audit_path.as_deref(), Some("out/a.ndjson".as_ref()));
+
+        assert!(parse_invocation(["--profile-out"]).is_err());
+        assert!(parse_invocation(["--audit-out"]).is_err());
+    }
+
+    #[test]
+    fn parses_bench_command() {
+        let cmd = parse_args(["bench"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                suite: "diagnosis".into(),
+                quick: false,
+                repeats: None,
+                warmup: None,
+                out: None,
+                baseline: None,
+                compare: None,
+                threshold: 0.5,
+            }
+        );
+
+        let cmd = parse_args([
+            "bench",
+            "--quick",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "3",
+            "--warmup",
+            "1",
+            "--out",
+            "b.json",
+            "--baseline",
+            "base.json",
+            "--threshold",
+            "0.25",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Bench { quick: true, repeats: Some(3), warmup: Some(1), .. }
+        ));
+
+        assert!(parse_args(["bench", "--compare", "b.json"]).is_err());
+        assert!(parse_args(["bench", "--threshold", "-1"]).is_err());
+        assert!(parse_args(["bench", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parses_explain_command() {
+        let cmd = parse_args(["explain", "audit.ndjson"]).unwrap();
+        assert_eq!(cmd, Command::Explain { path: "audit.ndjson".into() });
+        assert!(parse_args(["explain"]).is_err());
+        assert!(parse_args(["explain", "a", "b"]).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> i32 {
         &Invocation {
             json: false,
             obs: scan_obs::ObsConfig::disabled(),
+            audit_path: None,
             command: command.clone(),
         },
         out,
@@ -36,7 +37,12 @@ pub fn run<W: Write>(command: &Command, out: &mut W) -> i32 {
 ///
 /// Panics only if writing to `out` fails (broken pipe).
 pub fn run_invocation<W: Write>(invocation: &Invocation, out: &mut W) -> i32 {
-    match execute(&invocation.command, invocation.json, out) {
+    match execute(
+        &invocation.command,
+        invocation.json,
+        invocation.audit_path.as_deref(),
+        out,
+    ) {
         Ok(()) => 0,
         Err(message) => {
             if invocation.json {
@@ -52,7 +58,12 @@ pub fn run_invocation<W: Write>(invocation: &Invocation, out: &mut W) -> i32 {
 }
 
 #[allow(clippy::too_many_lines)]
-fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), String> {
+fn execute<W: Write>(
+    command: &Command,
+    json: bool,
+    audit: Option<&std::path::Path>,
+    out: &mut W,
+) -> Result<(), String> {
     match command {
         Command::Help => {
             write!(out, "{HELP}").map_err(io_err)?;
@@ -156,6 +167,13 @@ fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), S
         } => {
             let netlist = load(circuit)?;
             if let Some(spec_text) = fault {
+                if audit.is_some() {
+                    return Err(
+                        "--audit-out records campaign runs; drop --fault (its evidence \
+                         trail is already the full report)"
+                            .into(),
+                    );
+                }
                 return diagnose_single_fault(
                     &netlist, spec_text, *groups, *partitions, *patterns, *scheme, out,
                 );
@@ -165,6 +183,9 @@ fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), S
             let campaign =
                 PreparedCampaign::from_circuit(&netlist, &spec).map_err(|e| e.to_string())?;
             let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
+            if let Some(path) = audit {
+                write_audit(&campaign, *scheme, path)?;
+            }
             if json {
                 let mut o = JsonObject::new();
                 o.string("circuit", netlist.name())
@@ -211,6 +232,9 @@ fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), S
             let campaign =
                 PreparedCampaign::from_soc(&soc, core, &spec).map_err(|e| e.to_string())?;
             let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
+            if let Some(audit_path) = audit {
+                write_audit(&campaign, *scheme, audit_path)?;
+            }
             let localization = campaign
                 .run_localization(*scheme)
                 .map_err(|e| e.to_string())?;
@@ -239,7 +263,97 @@ fn execute<W: Write>(command: &Command, json: bool, out: &mut W) -> Result<(), S
             .map_err(io_err)?;
             Ok(())
         }
+        Command::Bench {
+            suite,
+            quick,
+            repeats,
+            warmup,
+            out: out_file,
+            baseline,
+            compare,
+            threshold,
+        } => {
+            // File-vs-file compare mode: no kernels run, so the verdict
+            // is deterministic (the regression-gate tests rely on it).
+            if let Some(current_path) = compare {
+                let baseline_path = baseline.as_deref().expect("parser enforces --baseline");
+                let current = load_suite(current_path)?;
+                let base = load_suite(baseline_path)?;
+                let comparison = scan_bench::suite::compare(&current, &base, *threshold);
+                write!(out, "{}", comparison.render(*threshold)).map_err(io_err)?;
+                if !comparison.passed() {
+                    return Err(format!("bench regression against `{baseline_path}`"));
+                }
+                return Ok(());
+            }
+            let mut config = scan_bench::suite::SuiteConfig::new(suite, *quick);
+            if let Some(r) = repeats {
+                config.repeats = (*r).max(1);
+            }
+            if let Some(w) = warmup {
+                config.warmup = *w;
+            }
+            let result = scan_bench::suite::run_suite(&config, |name, stats| {
+                eprintln!(
+                    "bench: {name}: median {} ns ({} sample(s), {} dropped)",
+                    stats.median_ns, stats.samples, stats.dropped
+                );
+            });
+            let document = result.to_json();
+            let out_path = out_file
+                .clone()
+                .unwrap_or_else(|| format!("BENCH_{suite}.json"));
+            scan_obs::export::write_file(std::path::Path::new(&out_path), &document)
+                .map_err(|e| e.to_string())?;
+            eprintln!("bench: wrote {out_path}");
+            if json {
+                write!(out, "{document}").map_err(io_err)?;
+            } else {
+                write!(out, "{}", result.table()).map_err(io_err)?;
+            }
+            if let Some(baseline_path) = baseline {
+                let base = load_suite(baseline_path)?;
+                let comparison = scan_bench::suite::compare(&result, &base, *threshold);
+                write!(out, "{}", comparison.render(*threshold)).map_err(io_err)?;
+                if !comparison.passed() {
+                    return Err(format!("bench regression against `{baseline_path}`"));
+                }
+            }
+            Ok(())
+        }
+        Command::Explain { path } => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let summary = scan_diagnosis::audit::summarize_ndjson(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            write!(out, "{summary}").map_err(io_err)?;
+            Ok(())
+        }
     }
+}
+
+/// Replays the campaign's per-fault audit trail and writes it as
+/// NDJSON, creating parent directories as needed.
+fn write_audit(
+    campaign: &PreparedCampaign,
+    scheme: scan_bist::Scheme,
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let trail = campaign.audit(scheme).map_err(|e| e.to_string())?;
+    scan_obs::export::write_file(path, &trail.to_ndjson()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "audit: wrote {} fault record(s) to {}",
+        trail.faults.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+/// Reads and parses a `BENCH_<suite>.json` baseline document.
+fn load_suite(path: &str) -> Result<scan_bench::suite::SuiteResult, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    scan_bench::suite::SuiteResult::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 // Takes the error by value so it slots into `map_err(io_err)` calls.
@@ -437,6 +551,137 @@ mod tests {
         let (code, text) = run_to_string(&["parse", "/nonexistent/file.bench"]);
         assert_eq!(code, 1);
         assert!(text.starts_with("error:"));
+    }
+
+    #[test]
+    fn audit_out_writes_explainable_trace() {
+        let dir = std::env::temp_dir().join("scanbist-audit-test");
+        let path = dir.join("nested").join("audit.ndjson");
+        let path_str = path.to_str().unwrap().to_owned();
+        let (code, text) = run_to_string(&[
+            "--audit-out", &path_str, "diagnose", "s27", "--groups", "2", "--partitions",
+            "2", "--patterns", "32", "--faults", "5",
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        let trace = std::fs::read_to_string(&path).expect("audit file written");
+        assert!(trace.starts_with("{\"type\":\"meta\""), "{trace}");
+        assert!(trace.contains("\"type\":\"fault\""), "{trace}");
+        assert!(trace.contains("\"failing_groups\""), "{trace}");
+
+        let (code, summary) = run_to_string(&["explain", &path_str]);
+        assert_eq!(code, 0, "output: {summary}");
+        assert!(summary.contains("diagnosis audit: 5 fault(s)"), "{summary}");
+        assert!(summary.contains("convergence"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_out_rejects_single_fault_mode() {
+        let (code, text) =
+            run_to_string(&["--audit-out", "/tmp/x.ndjson", "diagnose", "s27", "--fault", "G10/SA1"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("--audit-out"), "{text}");
+    }
+
+    #[test]
+    fn explain_rejects_non_audit_input() {
+        let dir = std::env::temp_dir().join("scanbist-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bogus.ndjson");
+        std::fs::write(&path, "definitely not json\n").unwrap();
+        let (code, text) = run_to_string(&["explain", path.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(text.starts_with("error:"), "{text}");
+        let (code, _) = run_to_string(&["explain", "/nonexistent/audit.ndjson"]);
+        assert_eq!(code, 1);
+    }
+
+    fn suite_fixture(median_a: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"version":1,"suite":"diagnosis","quick":false,"repeats":5,"warmup":1,"#,
+                r#""kernels":{{"fault_sim":{{"median_ns":{},"p95_ns":1100,"iqr_ns":50,"samples":5,"dropped":0}},"#,
+                r#""misr_compaction":{{"median_ns":2000,"p95_ns":2100,"iqr_ns":40,"samples":5,"dropped":0}}}}}}"#,
+            ),
+            median_a
+        )
+    }
+
+    #[test]
+    fn bench_compare_gates_a_synthetic_slowdown() {
+        let dir = std::env::temp_dir().join("scanbist-bench-compare-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let same = dir.join("same.json");
+        let slow = dir.join("slow.json");
+        std::fs::write(&baseline, suite_fixture(1_000)).unwrap();
+        std::fs::write(&same, suite_fixture(1_000)).unwrap();
+        // Synthetic 2x slowdown on one kernel.
+        std::fs::write(&slow, suite_fixture(2_000)).unwrap();
+
+        let (code, text) = run_to_string(&[
+            "bench", "--compare", same.to_str().unwrap(), "--baseline",
+            baseline.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "identical files must pass: {text}");
+        assert!(text.contains("PASS"), "{text}");
+
+        let (code, text) = run_to_string(&[
+            "bench", "--compare", slow.to_str().unwrap(), "--baseline",
+            baseline.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "2x slowdown must fail: {text}");
+        assert!(text.contains("REGRESSION fault_sim"), "{text}");
+
+        // A generous threshold lets the same slowdown through.
+        let (code, _) = run_to_string(&[
+            "bench", "--compare", slow.to_str().unwrap(), "--baseline",
+            baseline.to_str().unwrap(), "--threshold", "1.5",
+        ]);
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_compare_rejects_malformed_baselines() {
+        let dir = std::env::temp_dir().join("scanbist-bench-badfile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(
+            &bad,
+            "{\"version\":1,\"suite\":\"x\",\"repeats\":1,\"warmup\":0,\"kernels\":{}}",
+        )
+        .unwrap();
+        let (code, text) = run_to_string(&[
+            "bench", "--compare", bad.to_str().unwrap(), "--baseline", bad.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1);
+        assert!(text.contains("kernels"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_quick_run_writes_baseline_and_passes_self_compare() {
+        let dir = std::env::temp_dir().join("scanbist-bench-run-test");
+        let out_path = dir.join("BENCH_smoke.json");
+        let out_str = out_path.to_str().unwrap().to_owned();
+        let (code, text) = run_to_string(&[
+            "bench", "--quick", "--suite", "smoke", "--repeats", "1", "--warmup", "0",
+            "--out", &out_str,
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.contains("fault_sim"), "{text}");
+        let document = std::fs::read_to_string(&out_path).expect("bench output written");
+        let parsed = scan_bench::suite::SuiteResult::from_json(&document).unwrap();
+        assert_eq!(parsed.suite, "smoke");
+        assert_eq!(parsed.kernels.len(), 7);
+
+        // The file it just wrote is its own fixed point under compare.
+        let (code, text) = run_to_string(&[
+            "bench", "--compare", &out_str, "--baseline", &out_str,
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Per-fault diagnosis audit traces.
+//!
+//! A [`SchemeReport`](crate::SchemeReport) compresses a campaign into
+//! aggregate DR numbers; an audit trace keeps the evidence. For every
+//! injected fault it records, per partition, the partition *kind*
+//! (interval vs random-selection), which groups failed their BIST
+//! session, and how large the candidate set was after intersecting
+//! that partition — the full convergence curve behind Fig. 5, one
+//! fault at a time.
+//!
+//! Traces serialize to NDJSON (`scanbist --audit-out <path> diagnose …`),
+//! are validated by `obs-check`, and are summarized back into a
+//! human-readable report by `scanbist explain <audit.ndjson>` via
+//! [`summarize_ndjson`]. Auditing is a separate replay pass over the
+//! prepared campaign — the diagnosis hot path is untouched, so audited
+//! and unaudited campaigns stay bit-identical.
+
+use std::fmt::Write as _;
+
+use scan_obs::json::{self, Value};
+
+/// One partition's contribution to a fault's diagnosis.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct AuditStep {
+    /// Partition index within the scheme (0-based).
+    pub partition: usize,
+    /// Partition kind: `"interval"` or `"random-selection"`.
+    pub kind: &'static str,
+    /// Groups whose BIST session signature mismatched.
+    pub failing_groups: Vec<u16>,
+    /// Candidate-set size after intersecting this partition (the raw
+    /// intersection, before X-mask exclusion).
+    pub candidates: usize,
+}
+
+/// The audit record of one injected fault.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct FaultAudit {
+    /// Fault case index within the campaign.
+    pub index: usize,
+    /// Observable truly-failing cells.
+    pub actual: usize,
+    /// Final candidate count (after all partitions and X-mask
+    /// exclusion).
+    pub final_candidates: usize,
+    /// One step per partition, in intersection order.
+    pub steps: Vec<AuditStep>,
+}
+
+/// A full campaign audit: metadata plus one record per fault.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct CampaignAudit {
+    /// Scheme name (e.g. `two-step(1+3)`).
+    pub scheme: String,
+    /// Groups per partition.
+    pub groups: u16,
+    /// Partitions per scheme.
+    pub partitions: usize,
+    /// Per-fault records, in fault-index order.
+    pub faults: Vec<FaultAudit>,
+}
+
+impl CampaignAudit {
+    /// Renders the NDJSON stream: a `meta` line followed by one `fault`
+    /// line per record. The shape is what `obs-check` validates.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"{{"type":"meta","version":1,"kind":"diagnosis-audit","scheme":"{}","groups":{},"partitions":{},"faults":{}}}"#,
+            self.scheme,
+            self.groups,
+            self.partitions,
+            self.faults.len()
+        );
+        for fault in &self.faults {
+            let _ = write!(
+                out,
+                r#"{{"type":"fault","index":{},"actual":{},"final":{},"steps":["#,
+                fault.index, fault.actual, fault.final_candidates
+            );
+            for (i, step) in fault.steps.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let groups = step
+                    .failing_groups
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = write!(
+                    out,
+                    r#"{{"partition":{},"kind":"{}","failing_groups":[{groups}],"candidates":{}}}"#,
+                    step.partition, step.kind, step.candidates
+                );
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+/// Summarizes an NDJSON audit trace (as written by `--audit-out`) into
+/// the human-readable report printed by `scanbist explain`.
+///
+/// # Errors
+///
+/// Returns a message if the stream is not parseable NDJSON or contains
+/// no `fault` events.
+pub fn summarize_ndjson(text: &str) -> Result<String, String> {
+    let mut scheme = String::from("?");
+    // (actual, final, per-step candidate counts, per-step kinds)
+    let mut faults: Vec<(u64, u64, Vec<u64>, Vec<String>)> = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        match value.get("type").and_then(Value::as_str) {
+            Some("meta") => {
+                if let Some(name) = value.get("scheme").and_then(Value::as_str) {
+                    name.clone_into(&mut scheme);
+                }
+            }
+            Some("fault") => faults.push(parse_fault(&value).map_err(|e| {
+                format!("line {}: {e}", index + 1)
+            })?),
+            Some(other) => return Err(format!("line {}: unknown event type `{other}`", index + 1)),
+            None => return Err(format!("line {}: missing \"type\"", index + 1)),
+        }
+    }
+    if faults.is_empty() {
+        return Err("no fault events in audit trace".into());
+    }
+
+    let n = faults.len() as f64;
+    let sum_actual: u64 = faults.iter().map(|f| f.0).sum();
+    let sum_final: u64 = faults.iter().map(|f| f.1).sum();
+    let steps = faults.iter().map(|f| f.2.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "diagnosis audit: {} fault(s), scheme {scheme}", faults.len());
+    let _ = writeln!(
+        out,
+        "  mean actual failing cells {:.2}, mean final candidates {:.2}",
+        sum_actual as f64 / n,
+        sum_final as f64 / n
+    );
+    if sum_actual > 0 {
+        let dr = (sum_final as f64 - sum_actual as f64) / sum_actual as f64;
+        let _ = writeln!(out, "  diagnostic resolution (DR) {dr:.3}");
+    }
+    let _ = writeln!(out, "  convergence (mean candidates after each partition):");
+    for k in 0..steps {
+        let with_step: Vec<&(u64, u64, Vec<u64>, Vec<String>)> =
+            faults.iter().filter(|f| f.2.len() > k).collect();
+        let mean = with_step.iter().map(|f| f.2[k]).sum::<u64>() as f64
+            / with_step.len().max(1) as f64;
+        let kind = with_step
+            .first()
+            .and_then(|f| f.3.get(k).cloned())
+            .unwrap_or_else(|| "?".into());
+        let _ = writeln!(out, "    partition {:>2} [{kind:<16}] {mean:>10.1}", k + 1);
+    }
+    if let Some((index, f)) = faults
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, f)| f.1.saturating_sub(f.0))
+    {
+        let _ = writeln!(
+            out,
+            "  worst fault: #{index} ({} candidates for {} actual failing cell(s))",
+            f.1, f.0
+        );
+    }
+    Ok(out)
+}
+
+#[allow(clippy::type_complexity)] // one private tuple, named in the caller
+#[allow(clippy::cast_sign_loss)] // counts are clamped non-negative before the cast
+fn parse_fault(value: &Value) -> Result<(u64, u64, Vec<u64>, Vec<String>), String> {
+    let num = |member: &str| -> Result<u64, String> {
+        value
+            .get(member)
+            .and_then(Value::as_f64)
+            .map(|v| v.max(0.0) as u64)
+            .ok_or_else(|| format!("fault event missing numeric \"{member}\""))
+    };
+    let actual = num("actual")?;
+    let final_candidates = num("final")?;
+    let steps = value
+        .get("steps")
+        .and_then(Value::as_array)
+        .ok_or("fault event missing \"steps\" array")?;
+    let mut counts = Vec::with_capacity(steps.len());
+    let mut kinds = Vec::with_capacity(steps.len());
+    for step in steps {
+        counts.push(
+            step.get("candidates")
+                .and_then(Value::as_f64)
+                .map(|v| v.max(0.0) as u64)
+                .ok_or("audit step missing numeric \"candidates\"")?,
+        );
+        kinds.push(
+            step.get("kind")
+                .and_then(Value::as_str)
+                .ok_or("audit step missing \"kind\"")?
+                .to_owned(),
+        );
+    }
+    Ok((actual, final_candidates, counts, kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignAudit {
+        CampaignAudit {
+            scheme: "two-step(1+1)".into(),
+            groups: 4,
+            partitions: 2,
+            faults: vec![
+                FaultAudit {
+                    index: 0,
+                    actual: 2,
+                    final_candidates: 5,
+                    steps: vec![
+                        AuditStep {
+                            partition: 0,
+                            kind: "interval",
+                            failing_groups: vec![1, 3],
+                            candidates: 40,
+                        },
+                        AuditStep {
+                            partition: 1,
+                            kind: "random-selection",
+                            failing_groups: vec![0],
+                            candidates: 5,
+                        },
+                    ],
+                },
+                FaultAudit {
+                    index: 1,
+                    actual: 1,
+                    final_candidates: 3,
+                    steps: vec![
+                        AuditStep {
+                            partition: 0,
+                            kind: "interval",
+                            failing_groups: vec![2],
+                            candidates: 20,
+                        },
+                        AuditStep {
+                            partition: 1,
+                            kind: "random-selection",
+                            failing_groups: vec![1],
+                            candidates: 3,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ndjson_golden() {
+        let expected = concat!(
+            r#"{"type":"meta","version":1,"kind":"diagnosis-audit","scheme":"two-step(1+1)","groups":4,"partitions":2,"faults":2}"#,
+            "\n",
+            r#"{"type":"fault","index":0,"actual":2,"final":5,"steps":[{"partition":0,"kind":"interval","failing_groups":[1,3],"candidates":40},{"partition":1,"kind":"random-selection","failing_groups":[0],"candidates":5}]}"#,
+            "\n",
+            r#"{"type":"fault","index":1,"actual":1,"final":3,"steps":[{"partition":0,"kind":"interval","failing_groups":[2],"candidates":20},{"partition":1,"kind":"random-selection","failing_groups":[1],"candidates":3}]}"#,
+            "\n",
+        );
+        assert_eq!(sample().to_ndjson(), expected);
+    }
+
+    #[test]
+    fn ndjson_lines_parse_back() {
+        for line in sample().to_ndjson().lines() {
+            json::parse(line).expect("audit NDJSON must be valid JSON");
+        }
+    }
+
+    #[test]
+    fn summarize_round_trip() {
+        let text = sample().to_ndjson();
+        let summary = summarize_ndjson(&text).unwrap();
+        assert!(summary.contains("2 fault(s)"), "{summary}");
+        assert!(summary.contains("scheme two-step(1+1)"), "{summary}");
+        assert!(summary.contains("interval"), "{summary}");
+        assert!(summary.contains("random-selection"), "{summary}");
+        // Mean after partition 1 = (40+20)/2 = 30.0.
+        assert!(summary.contains("30.0"), "{summary}");
+        // DR = (8 − 3) / 3.
+        assert!(summary.contains("1.667"), "{summary}");
+    }
+
+    #[test]
+    fn summarize_rejects_garbage() {
+        assert!(summarize_ndjson("not json\n").is_err());
+        assert!(summarize_ndjson("").is_err());
+        assert!(summarize_ndjson(r#"{"type":"meta"}"#).is_err(), "no faults");
+        assert!(summarize_ndjson(r#"{"type":"fault","actual":1}"#).is_err());
+    }
+}

@@ -562,6 +562,80 @@ impl PreparedCampaign {
         crate::parallel::run_campaign(self, scheme, threads)
     }
 
+    /// Replays the diagnosis for `scheme` recording a per-fault audit
+    /// trail: partition kinds, failing groups, and the candidate-set
+    /// size after each intersection (see [`crate::audit`]).
+    ///
+    /// This is a separate pass over the prepared campaign — it never
+    /// runs concurrently with [`run`](Self::run) and shares none of its
+    /// state, so enabling auditing cannot perturb campaign results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn audit(&self, scheme: Scheme) -> Result<crate::audit::CampaignAudit, CampaignError> {
+        let _span = scan_obs::span!("audit");
+        let plan = self.build_plan(scheme)?;
+        let masked = self.masked_cells();
+        let kinds: Vec<&'static str> = plan
+            .partitions()
+            .iter()
+            .map(|p| {
+                if p.is_interval() {
+                    "interval"
+                } else {
+                    "random-selection"
+                }
+            })
+            .collect();
+        let faults = (0..self.cases.len())
+            .map(|index| {
+                let case = &self.cases[index];
+                let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
+                let actual = case
+                    .errors
+                    .failing_positions()
+                    .iter()
+                    .filter(observable)
+                    .count();
+                let outcome = plan.analyze(
+                    case.errors
+                        .iter_bits()
+                        .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                        .filter(|(cell, _)| !masked.contains(*cell)),
+                );
+                let mut diag = diagnose(&plan, &outcome);
+                if !masked.is_empty() {
+                    diag = diag.without_cells(&masked);
+                }
+                let steps = diag
+                    .prefix_counts()
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &candidates)| crate::audit::AuditStep {
+                        partition: p,
+                        kind: kinds[p],
+                        failing_groups: outcome.failing_groups(p).collect(),
+                        candidates,
+                    })
+                    .collect();
+                crate::audit::FaultAudit {
+                    index,
+                    actual,
+                    final_candidates: diag.num_candidates(),
+                    steps,
+                }
+            })
+            .collect();
+        Ok(crate::audit::CampaignAudit {
+            scheme: scheme.name().to_owned(),
+            groups: self.spec.groups,
+            partitions: self.spec.partitions,
+            faults,
+        })
+    }
+
     /// Per-fault final candidate sets (ascending cell ids), serially.
     ///
     /// # Errors

@@ -51,6 +51,7 @@
 #![allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
 
 pub mod adaptive;
+pub mod audit;
 pub mod chain_mask;
 pub mod cost;
 mod diagnose;
@@ -70,6 +71,7 @@ pub mod soc_diag;
 pub mod vector_diag;
 pub mod windows;
 
+pub use audit::{AuditStep, CampaignAudit, FaultAudit};
 pub use diagnose::{diagnose, Diagnosis};
 pub use error::BuildPlanError;
 pub use experiment::{

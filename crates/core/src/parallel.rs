@@ -83,17 +83,24 @@ where
             for (w, shard) in slots.chunks_mut(chunk).enumerate() {
                 let work = &work;
                 scope.spawn(move || {
-                    let _span = scan_obs::span!("worker");
-                    let base = w * chunk;
-                    let total = shard.len();
-                    for (off, slot) in shard.iter_mut().enumerate() {
-                        *slot = Some(work(base + off));
-                        scan_obs::progress::tick_worker(w, off + 1, total);
+                    {
+                        let _span = scan_obs::span!("worker");
+                        let base = w * chunk;
+                        let total = shard.len();
+                        for (off, slot) in shard.iter_mut().enumerate() {
+                            *slot = Some(work(base + off));
+                            scan_obs::progress::tick_worker(w, off + 1, total);
+                        }
+                        scan_obs::metrics::add_fmt(
+                            || format!("parallel.worker{w}.cases"),
+                            total as u64,
+                        );
                     }
-                    scan_obs::metrics::add_fmt(
-                        || format!("parallel.worker{w}.cases"),
-                        total as u64,
-                    );
+                    // Fold this worker's shard before the scope join can
+                    // observe thread termination: the automatic TLS-drop
+                    // merge may run after the scope unblocks, racing a
+                    // snapshot taken by the parent thread.
+                    scan_obs::flush_thread();
                 });
             }
         });

@@ -5,7 +5,7 @@
 //! neighbouring tests.
 
 use scan_bist::Scheme;
-use scan_diagnosis::{CampaignSpec, PreparedCampaign, SchemeReport};
+use scan_diagnosis::{CampaignAudit, CampaignSpec, PreparedCampaign, SchemeReport};
 use scan_netlist::generate;
 use scan_obs::ObsConfig;
 
@@ -19,6 +19,7 @@ struct Baseline {
     report: SchemeReport,
     parallel: SchemeReport,
     candidates: Vec<Vec<usize>>,
+    audit: CampaignAudit,
 }
 
 fn run_once() -> Baseline {
@@ -32,6 +33,7 @@ fn run_once() -> Baseline {
         candidates: campaign
             .candidate_sets(Scheme::TWO_STEP_DEFAULT)
             .expect("candidate sets"),
+        audit: campaign.audit(Scheme::TWO_STEP_DEFAULT).expect("audit replay"),
     }
 }
 
@@ -47,6 +49,8 @@ fn assert_identical(a: &Baseline, b: &Baseline) {
         assert_eq!(x.faults, y.faults);
     }
     assert_eq!(a.candidates, b.candidates);
+    assert_eq!(a.audit, b.audit);
+    assert_eq!(a.audit.to_ndjson(), b.audit.to_ndjson());
 }
 
 #[test]
@@ -55,11 +59,14 @@ fn results_are_bit_identical_with_observability_on_or_off() {
     scan_obs::reset();
     let disabled = run_once();
 
-    // Everything on: tracing, metrics, and progress all recording.
+    // Everything on: tracing, metrics, progress, and span profiling
+    // all recording. (`profile_path` stays unset so `finish` is never
+    // needed; recording is what could perturb results.)
     let config = ObsConfig {
         trace: true,
         metrics: true,
         progress: true,
+        profile: true,
         ..ObsConfig::disabled()
     };
     scan_obs::init(&config);
@@ -80,6 +87,19 @@ fn results_are_bit_identical_with_observability_on_or_off() {
     assert!(snapshot.span_stats.contains_key("worker"));
     assert!(snapshot.counters.contains_key("parallel.worker0.cases"));
     assert!(snapshot.histograms.contains_key("diagnosis.candidates_per_fault"));
+    // The audit replay is itself instrumented and internally coherent.
+    assert!(snapshot.span_stats.keys().any(|p| p.contains("audit")));
+    for fault in &enabled.audit.faults {
+        assert_eq!(fault.steps.len(), spec().partitions);
+        assert_eq!(
+            fault.steps.last().map(|s| s.candidates),
+            Some(fault.final_candidates),
+            "no X-masking here, so the last step is the final set"
+        );
+    }
+    // The profiler view of the same snapshot is valid folded output.
+    let profile = scan_obs::Profile::from_snapshot(&snapshot);
+    scan_obs::profile::check_folded(&profile.folded()).expect("folded profile validates");
 
     // And a fresh uninstrumented run still matches (state fully reset).
     let after = run_once();

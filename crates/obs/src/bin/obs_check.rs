@@ -1,12 +1,21 @@
 //! `obs-check` — validates observability export files.
 //!
-//! Usage: `obs-check <file>…` where each file is either an NDJSON
-//! event stream (`.ndjson`: every line must parse as a JSON object
-//! with a known `type`) or a JSON metrics snapshot (anything else:
-//! must parse as one object with `counters` / `histograms` / `spans`
-//! members). Exits nonzero with a message on the first failure —
+//! Usage: `obs-check <file>…` where each file is one of
+//!
+//! * an NDJSON stream (`.ndjson`): every line must parse as a JSON
+//!   object with a known `type` — trace events (`meta`/`span`/
+//!   `counter`/`hist`) and diagnosis audit events (`fault`) are both
+//!   accepted;
+//! * a collapsed-stack profile (`.folded`, or any non-JSON text):
+//!   every line must be `frame[;frame…] <count>`;
+//! * a bench baseline (JSON with `suite`/`kernels` members): every
+//!   kernel must carry numeric `median_ns`/`p95_ns`/`iqr_ns`;
+//! * a JSON metrics snapshot (any other JSON: one object with
+//!   `counters` / `histograms` / `spans` members).
+//!
+//! Exits nonzero with a message on the first failure —
 //! `scripts/verify.sh` runs this against an instrumented smoke
-//! campaign.
+//! campaign and a quick-mode bench run.
 
 use std::process::ExitCode;
 
@@ -14,6 +23,7 @@ use scan_obs::json::{parse, Value};
 
 fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut spans = 0usize;
+    let mut faults = 0usize;
     let mut lines = 0usize;
     for (index, line) in text.lines().enumerate() {
         if line.is_empty() {
@@ -42,6 +52,11 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
                     }
                 }
             }
+            "fault" => {
+                check_fault_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                faults += 1;
+            }
             other => {
                 return Err(format!(
                     "{path}:{}: unknown event type `{other}`",
@@ -53,12 +68,80 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     if lines == 0 {
         return Err(format!("{path}: empty NDJSON stream"));
     }
-    eprintln!("obs-check: {path}: {lines} event(s), {spans} span(s) OK");
+    eprintln!(
+        "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s) OK"
+    );
     Ok(())
 }
 
-fn check_metrics(path: &str, text: &str) -> Result<(), String> {
-    let value = parse(text).map_err(|e| format!("{path}: {e}"))?;
+/// A diagnosis audit event: per-fault candidate-set convergence with
+/// one step per partition (see `docs/OBSERVABILITY.md`).
+fn check_fault_event(value: &Value) -> Result<(), String> {
+    for member in ["index", "actual", "final"] {
+        if value.get(member).and_then(Value::as_f64).is_none() {
+            return Err(format!("fault event missing numeric \"{member}\""));
+        }
+    }
+    let steps = value
+        .get("steps")
+        .and_then(Value::as_array)
+        .ok_or("fault event missing \"steps\" array")?;
+    for (i, step) in steps.iter().enumerate() {
+        let kind_ok = step.get("kind").and_then(Value::as_str).is_some();
+        let cand_ok = step.get("candidates").and_then(Value::as_f64).is_some();
+        let groups_ok = step
+            .get("failing_groups")
+            .and_then(Value::as_array)
+            .is_some_and(|g| g.iter().all(|v| v.as_f64().is_some()));
+        if !(kind_ok && cand_ok && groups_ok) {
+            return Err(format!("malformed audit step {i}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_bench(path: &str, value: &Value) -> Result<(), String> {
+    if value.get("version").and_then(Value::as_f64).is_none() {
+        return Err(format!("{path}: bench baseline missing numeric \"version\""));
+    }
+    let suite = value
+        .get("suite")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: bench baseline missing \"suite\""))?;
+    let kernels = value
+        .get("kernels")
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("{path}: bench baseline missing \"kernels\" object"))?;
+    if kernels.is_empty() {
+        return Err(format!("{path}: bench baseline has no kernels"));
+    }
+    for (name, kernel) in kernels {
+        for member in ["median_ns", "p95_ns", "iqr_ns"] {
+            let ok = kernel
+                .get(member)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v >= 0.0);
+            if !ok {
+                return Err(format!(
+                    "{path}: kernel `{name}` missing non-negative \"{member}\""
+                ));
+            }
+        }
+    }
+    eprintln!(
+        "obs-check: {path}: bench baseline OK (suite `{suite}`, {} kernel(s))",
+        kernels.len()
+    );
+    Ok(())
+}
+
+fn check_folded(path: &str, text: &str) -> Result<(), String> {
+    let lines = scan_obs::profile::check_folded(text).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("obs-check: {path}: folded profile OK ({lines} stack(s))");
+    Ok(())
+}
+
+fn check_metrics(path: &str, value: &Value) -> Result<(), String> {
     for member in ["counters", "histograms", "spans"] {
         if value.get(member).and_then(Value::as_object).is_none() {
             return Err(format!("{path}: missing object member \"{member}\""));
@@ -76,10 +159,22 @@ fn check(path: &str) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if path.ends_with(".ndjson") {
-        check_ndjson(path, &text)
-    } else {
-        check_metrics(path, &text)
+        return check_ndjson(path, &text);
     }
+    if path.ends_with(".folded") {
+        return check_folded(path, &text);
+    }
+    // Dispatch the rest on content: JSON documents are either a bench
+    // baseline (`suite`/`kernels`) or a metrics snapshot; anything that
+    // is not JSON is expected to be a collapsed-stack profile.
+    if text.trim_start().starts_with('{') {
+        let value = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        if value.get("kernels").is_some() {
+            return check_bench(path, &value);
+        }
+        return check_metrics(path, &value);
+    }
+    check_folded(path, &text)
 }
 
 fn main() -> ExitCode {

@@ -25,6 +25,14 @@ pub struct ObsConfig {
     /// Print the human-readable span tree to stderr in
     /// [`crate::finish`].
     pub summary: bool,
+    /// Aggregate spans into a self-time profile (implies span
+    /// recording) and print the hot-spot table to stderr in
+    /// [`crate::finish`].
+    pub profile: bool,
+    /// Where [`crate::finish`] writes the collapsed-stack (flamegraph
+    /// `folded` format) profile export. Implies [`ObsConfig::profile`]-
+    /// style span recording; `None` skips the file.
+    pub profile_path: Option<PathBuf>,
 }
 
 impl ObsConfig {
@@ -37,14 +45,21 @@ impl ObsConfig {
     /// True if any recording is requested.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.trace || self.metrics || self.progress
+        self.trace || self.metrics || self.progress || self.profiling()
+    }
+
+    /// True if span profiling is requested (the `profile` toggle or an
+    /// explicit profile export path).
+    #[must_use]
+    pub fn profiling(&self) -> bool {
+        self.profile || self.profile_path.is_some()
     }
 
     /// The [`crate::registry`] state mask this configuration enables.
     #[must_use]
     pub(crate) fn state_mask(&self) -> u8 {
         let mut mask = 0;
-        if self.trace {
+        if self.trace || self.profiling() {
             mask |= crate::registry::TRACE | crate::registry::METRICS;
         }
         if self.metrics {

@@ -192,13 +192,18 @@ pub fn tree_summary(snapshot: &Snapshot) -> String {
 ///
 /// # Errors
 ///
-/// Propagates any I/O failure.
+/// Propagates I/O failures, wrapped so the message names the offending
+/// path (a bare `io::Error` such as "No such file or directory" is
+/// useless when several export files are in flight).
 pub fn write_file(path: &Path, text: &str) -> std::io::Result<()> {
+    let with_path = |e: std::io::Error| {
+        std::io::Error::new(e.kind(), format!("cannot write `{}`: {e}", path.display()))
+    };
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
+            std::fs::create_dir_all(parent).map_err(with_path)?;
         }
     }
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(text.as_bytes())
+    let mut file = std::fs::File::create(path).map_err(with_path)?;
+    file.write_all(text.as_bytes()).map_err(with_path)
 }

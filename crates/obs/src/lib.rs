@@ -55,11 +55,13 @@ mod config;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 pub mod registry;
 pub mod span;
 
 pub use config::ObsConfig;
+pub use profile::{Profile, ProfileEntry};
 pub use registry::{flush_thread, snapshot, Histogram, Snapshot, SpanEvent, SpanStat};
 pub use span::SpanGuard;
 
@@ -81,13 +83,16 @@ pub fn init(config: &ObsConfig) {
 
 /// Stops recording and exports everything `config` asks for: the
 /// NDJSON event stream to [`ObsConfig::trace_path`], the JSON metrics
-/// snapshot to [`ObsConfig::metrics_path`], and the span tree to
-/// stderr when [`ObsConfig::summary`] is set. Recorded data is left in
-/// place (a later [`snapshot`] still sees it).
+/// snapshot to [`ObsConfig::metrics_path`], the collapsed-stack
+/// profile to [`ObsConfig::profile_path`], the span tree to stderr
+/// when [`ObsConfig::summary`] is set, and the self-time hot-spot
+/// table to stderr when [`ObsConfig::profile`] is set. Recorded data
+/// is left in place (a later [`snapshot`] still sees it).
 ///
 /// # Errors
 ///
-/// Propagates I/O failures from writing the export files.
+/// Propagates I/O failures from writing the export files; the error
+/// message names the offending path.
 pub fn finish(config: &ObsConfig) -> std::io::Result<()> {
     registry::set_state(0);
     if !config.is_enabled() {
@@ -99,6 +104,15 @@ pub fn finish(config: &ObsConfig) -> std::io::Result<()> {
     }
     if let Some(path) = &config.metrics_path {
         export::write_file(path, &export::metrics_json(&snapshot))?;
+    }
+    if config.profiling() {
+        let profile = Profile::from_snapshot(&snapshot);
+        if let Some(path) = &config.profile_path {
+            export::write_file(path, &profile.folded())?;
+        }
+        if config.profile {
+            eprint!("{}", profile.hotspot_table());
+        }
     }
     if config.summary {
         eprint!("{}", export::tree_summary(&snapshot));

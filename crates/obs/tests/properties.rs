@@ -133,12 +133,18 @@ fn concurrent_scoped_workers_record_without_loss() {
         std::thread::scope(|scope| {
             for w in 0..WORKERS {
                 scope.spawn(move || {
-                    let _span = span::enter("worker");
-                    for i in 0..TICKS {
-                        metrics::incr("workers.cases");
-                        metrics::record_pow2("workers.values", i);
+                    {
+                        let _span = span::enter("worker");
+                        for i in 0..TICKS {
+                            metrics::incr("workers.cases");
+                            metrics::record_pow2("workers.values", i);
+                        }
+                        metrics::add_fmt(|| format!("parallel.worker{w}.cases"), TICKS);
                     }
-                    metrics::add_fmt(|| format!("parallel.worker{w}.cases"), TICKS);
+                    // Explicit fold: the automatic TLS-drop merge can run
+                    // after the scope join unblocks, racing the snapshot
+                    // below.
+                    scan_obs::flush_thread();
                 });
             }
         });

@@ -19,13 +19,23 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> instrumented smoke campaign (--trace --metrics-out)"
+echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out)"
 SMOKE_DIR=target/obs-smoke
 mkdir -p "$SMOKE_DIR"
 ./target/release/scanbist \
     --trace --trace-out "$SMOKE_DIR/trace.ndjson" \
     --metrics-out "$SMOKE_DIR/metrics.json" \
+    --profile-out "$SMOKE_DIR/profile.folded" \
+    --audit-out "$SMOKE_DIR/audit.ndjson" \
     diagnose s953 --patterns 64 --faults 50 > /dev/null 2> "$SMOKE_DIR/summary.txt"
-./target/release/obs-check "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json"
+./target/release/obs-check \
+    "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json" \
+    "$SMOKE_DIR/profile.folded" "$SMOKE_DIR/audit.ndjson"
+
+echo "==> quick bench smoke (scanbist bench --quick)"
+./target/release/scanbist \
+    bench --quick --out "$SMOKE_DIR/BENCH_quick.json" \
+    > "$SMOKE_DIR/bench_table.txt" 2> "$SMOKE_DIR/bench_progress.txt"
+./target/release/obs-check "$SMOKE_DIR/BENCH_quick.json"
 
 echo "==> verify OK"
