@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_xmask",
     "ablation_chain_mask",
     "multifault",
+    "noise_sweep",
     "vectors",
     "windows",
     "adaptive_compare",

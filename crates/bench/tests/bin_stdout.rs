@@ -37,6 +37,7 @@ const BINS: &[(&str, &str)] = &[
     ("figure5", env!("CARGO_BIN_EXE_figure5")),
     ("localization", env!("CARGO_BIN_EXE_localization")),
     ("multifault", env!("CARGO_BIN_EXE_multifault")),
+    ("noise_sweep", env!("CARGO_BIN_EXE_noise_sweep")),
     ("overhead", env!("CARGO_BIN_EXE_overhead")),
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),

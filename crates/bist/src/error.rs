@@ -4,7 +4,12 @@ use std::error::Error;
 use std::fmt;
 
 /// Error returned when constructing an LFSR or MISR.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a
+/// wildcard arm so new failure modes can be added without a breaking
+/// release.
 #[derive(Clone, Copy, Eq, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum BuildLfsrError {
     /// No primitive polynomial is tabulated for the requested degree.
     UnsupportedDegree {

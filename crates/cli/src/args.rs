@@ -64,6 +64,41 @@ pub enum Command {
         /// Partitioning scheme.
         scheme: Scheme,
     },
+    /// `scanbist noise <circuit> [options]` — fault-tolerant diagnosis
+    /// campaign under injected verdict noise (see
+    /// `docs/ROBUSTNESS.md`).
+    Noise {
+        /// Benchmark name or `.bench` path.
+        circuit: String,
+        /// Groups per partition.
+        groups: u16,
+        /// Number of partitions.
+        partitions: usize,
+        /// Patterns per session.
+        patterns: usize,
+        /// Faults to inject.
+        faults: usize,
+        /// Partitioning scheme.
+        scheme: Scheme,
+        /// Verdict flip probability per session.
+        flip: f64,
+        /// Session dropout (lost-verdict) probability.
+        dropout: f64,
+        /// Fraction of faults that behave intermittently.
+        intermittent: f64,
+        /// Per-session miss probability for intermittent faults.
+        miss: f64,
+        /// Fraction of scan cells corrupted to X by noise.
+        xcorrupt: f64,
+        /// Noise stream seed.
+        seed: u64,
+        /// Ballots per retried session (normalized odd).
+        votes: usize,
+        /// Maximum retry rounds before weighted-voting fallback.
+        retries: usize,
+        /// Worker threads (`0` = one per available core).
+        threads: usize,
+    },
     /// `scanbist bench [options]` — calibrated performance kernels
     /// with baseline comparison (see `docs/BENCHMARKS.md`).
     Bench {
@@ -142,7 +177,7 @@ pub struct Invocation {
     pub obs: scan_obs::ObsConfig,
     /// Where diagnosis audit traces (NDJSON, one event per fault) are
     /// written; from the global `--audit-out <path>` flag. Honoured by
-    /// `diagnose` campaigns.
+    /// `diagnose` and `noise` campaigns.
     pub audit_path: Option<std::path::PathBuf>,
     /// The command to execute.
     pub command: Command,
@@ -324,6 +359,7 @@ where
                 scheme,
             })
         }
+        "noise" => parse_noise(words),
         "bench" => parse_bench(words),
         "explain" => {
             let path = take_value("explain", &mut words)?.to_owned();
@@ -334,6 +370,63 @@ where
             "unknown command `{other}` (try `scanbist help`)"
         ))),
     }
+}
+
+fn parse_noise<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let circuit = take_value("noise", &mut words)?.to_owned();
+    let mut groups = 4u16;
+    let mut partitions = 8usize;
+    let mut patterns = 128usize;
+    let mut faults = 100usize;
+    let mut scheme = Scheme::TWO_STEP_DEFAULT;
+    let mut flip = 0.02f64;
+    let mut dropout = 0.0f64;
+    let mut intermittent = 0.0f64;
+    let mut miss = 0.0f64;
+    let mut xcorrupt = 0.0f64;
+    let mut seed = 2003u64;
+    let mut votes = 3usize;
+    let mut retries = 2usize;
+    let mut threads = 0usize;
+    while let Some(flag) = words.next() {
+        match flag {
+            "--groups" => groups = parse_num(take_value(flag, &mut words)?)?,
+            "--partitions" => partitions = parse_num(take_value(flag, &mut words)?)?,
+            "--patterns" => patterns = parse_num(take_value(flag, &mut words)?)?,
+            "--faults" => faults = parse_num(take_value(flag, &mut words)?)?,
+            "--scheme" => scheme = scheme_from(take_value(flag, &mut words)?)?,
+            "--flip" => flip = parse_num(take_value(flag, &mut words)?)?,
+            "--dropout" => dropout = parse_num(take_value(flag, &mut words)?)?,
+            "--intermittent" => intermittent = parse_num(take_value(flag, &mut words)?)?,
+            "--miss" => miss = parse_num(take_value(flag, &mut words)?)?,
+            "--xcorrupt" => xcorrupt = parse_num(take_value(flag, &mut words)?)?,
+            "--seed" => seed = parse_num(take_value(flag, &mut words)?)?,
+            "--votes" => votes = parse_num(take_value(flag, &mut words)?)?,
+            "--retries" => retries = parse_num(take_value(flag, &mut words)?)?,
+            "--threads" => threads = parse_num(take_value(flag, &mut words)?)?,
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    Ok(Command::Noise {
+        circuit,
+        groups,
+        partitions,
+        patterns,
+        faults,
+        scheme,
+        flip,
+        dropout,
+        intermittent,
+        miss,
+        xcorrupt,
+        seed,
+        votes,
+        retries,
+        threads,
+    })
 }
 
 fn parse_bench<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
@@ -418,7 +511,7 @@ GLOBAL FLAGS (before the command):
   --profile-out <path>  like --profile, plus a collapsed-stack
                         (flamegraph folded format) export to <path>
   --audit-out <path>    write a per-fault diagnosis audit trace
-                        (NDJSON) during `diagnose` campaigns
+                        (NDJSON) during `diagnose`/`noise` campaigns
   --progress            periodic per-shard progress lines on stderr
 
 COMMANDS:
@@ -432,6 +525,13 @@ COMMANDS:
                     [--fault NET/SA0]   (single-fault evidence report)
   scanbist soc <file.soc> --faulty <core> [--groups G]
                     [--partitions P] [--scheme ...]
+  scanbist noise <circuit> [--groups G] [--partitions P]
+                    [--patterns N] [--faults F] [--scheme ...]
+                    [--flip R] [--dropout R] [--intermittent R]
+                    [--miss R] [--xcorrupt R] [--seed S]
+                    [--votes V] [--retries R] [--threads T]
+                    (fault-tolerant campaign under verdict noise;
+                    --audit-out writes retry/vote/fallback events)
   scanbist bench [--suite NAME] [--quick] [--repeats N] [--warmup N]
                     [--out FILE] [--baseline FILE] [--threshold FRAC]
                     [--compare FILE]   (file-vs-file baseline check)
@@ -455,8 +555,16 @@ mod tests {
     #[test]
     fn parses_diagnose_with_flags() {
         let cmd = parse_args([
-            "diagnose", "s953", "--groups", "4", "--partitions", "6", "--scheme", "random",
-            "--faults", "250",
+            "diagnose",
+            "s953",
+            "--groups",
+            "4",
+            "--partitions",
+            "6",
+            "--scheme",
+            "random",
+            "--faults",
+            "250",
         ])
         .unwrap();
         assert_eq!(
@@ -507,9 +615,17 @@ mod tests {
         .unwrap();
         assert!(inv.json);
         assert!(inv.obs.trace && inv.obs.metrics && inv.obs.progress && inv.obs.summary);
-        assert_eq!(inv.obs.trace_path.as_deref(), Some("trace_scanbist.ndjson".as_ref()));
+        assert_eq!(
+            inv.obs.trace_path.as_deref(),
+            Some("trace_scanbist.ndjson".as_ref())
+        );
         assert_eq!(inv.obs.metrics_path.as_deref(), Some("m.json".as_ref()));
-        assert_eq!(inv.command, Command::Stats { circuit: "s27".into() });
+        assert_eq!(
+            inv.command,
+            Command::Stats {
+                circuit: "s27".into()
+            }
+        );
 
         let inv = parse_invocation(["--trace-out", "t.ndjson", "help"]).unwrap();
         assert_eq!(inv.obs.trace_path.as_deref(), Some("t.ndjson".as_ref()));
@@ -537,11 +653,83 @@ mod tests {
         ])
         .unwrap();
         assert!(inv.obs.profile);
-        assert_eq!(inv.obs.profile_path.as_deref(), Some("out/p.folded".as_ref()));
+        assert_eq!(
+            inv.obs.profile_path.as_deref(),
+            Some("out/p.folded".as_ref())
+        );
         assert_eq!(inv.audit_path.as_deref(), Some("out/a.ndjson".as_ref()));
 
         assert!(parse_invocation(["--profile-out"]).is_err());
         assert!(parse_invocation(["--audit-out"]).is_err());
+    }
+
+    #[test]
+    fn parses_noise_command() {
+        let cmd = parse_args(["noise", "s953"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Noise {
+                groups: 4,
+                partitions: 8,
+                votes: 3,
+                retries: 2,
+                seed: 2003,
+                ..
+            }
+        ));
+
+        let cmd = parse_args([
+            "noise",
+            "s953",
+            "--flip",
+            "0.05",
+            "--dropout",
+            "0.01",
+            "--intermittent",
+            "0.1",
+            "--miss",
+            "0.5",
+            "--xcorrupt",
+            "0.02",
+            "--seed",
+            "7",
+            "--votes",
+            "4",
+            "--retries",
+            "1",
+            "--threads",
+            "2",
+            "--faults",
+            "50",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Noise {
+                flip,
+                dropout,
+                intermittent,
+                miss,
+                xcorrupt,
+                seed,
+                votes,
+                retries,
+                threads,
+                faults,
+                ..
+            } => {
+                assert!((flip - 0.05).abs() < 1e-12);
+                assert!((dropout - 0.01).abs() < 1e-12);
+                assert!((intermittent - 0.1).abs() < 1e-12);
+                assert!((miss - 0.5).abs() < 1e-12);
+                assert!((xcorrupt - 0.02).abs() < 1e-12);
+                assert_eq!((seed, votes, retries, threads, faults), (7, 4, 1, 2, 50));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+
+        assert!(parse_args(["noise"]).is_err());
+        assert!(parse_args(["noise", "s953", "--flip", "lots"]).is_err());
+        assert!(parse_args(["noise", "s953", "--bogus"]).is_err());
     }
 
     #[test]
@@ -580,7 +768,12 @@ mod tests {
         .unwrap();
         assert!(matches!(
             cmd,
-            Command::Bench { quick: true, repeats: Some(3), warmup: Some(1), .. }
+            Command::Bench {
+                quick: true,
+                repeats: Some(3),
+                warmup: Some(1),
+                ..
+            }
         ));
 
         assert!(parse_args(["bench", "--compare", "b.json"]).is_err());
@@ -591,7 +784,12 @@ mod tests {
     #[test]
     fn parses_explain_command() {
         let cmd = parse_args(["explain", "audit.ndjson"]).unwrap();
-        assert_eq!(cmd, Command::Explain { path: "audit.ndjson".into() });
+        assert_eq!(
+            cmd,
+            Command::Explain {
+                path: "audit.ndjson".into()
+            }
+        );
         assert!(parse_args(["explain"]).is_err());
         assert!(parse_args(["explain", "a", "b"]).is_err());
     }

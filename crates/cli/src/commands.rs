@@ -3,7 +3,9 @@
 use std::io::Write;
 
 use scan_atpg::{run_atpg, PodemLimits};
-use scan_diagnosis::{lfsr_patterns, CampaignSpec, PreparedCampaign};
+use scan_diagnosis::{
+    lfsr_patterns, CampaignSpec, NoiseConfig, NoiseModel, PreparedCampaign, RobustPolicy,
+};
 use scan_netlist::stats::{ClusteringStats, GateCensus};
 use scan_netlist::{generate, GateKind, Netlist, ScanView};
 use scan_sim::{FaultSimulator, FaultUniverse};
@@ -100,8 +102,8 @@ fn execute<W: Write>(
             let netlist = load(circuit)?;
             let view = ScanView::natural(&netlist, true);
             let pattern_set = lfsr_patterns(&netlist, *patterns, 0xACE1);
-            let fsim = FaultSimulator::new(&netlist, &view, &pattern_set)
-                .map_err(|e| e.to_string())?;
+            let fsim =
+                FaultSimulator::new(&netlist, &view, &pattern_set).map_err(|e| e.to_string())?;
             let universe = FaultUniverse::collapsed(&netlist);
             let detected = universe
                 .faults()
@@ -175,7 +177,13 @@ fn execute<W: Write>(
                     );
                 }
                 return diagnose_single_fault(
-                    &netlist, spec_text, *groups, *partitions, *patterns, *scheme, out,
+                    &netlist,
+                    spec_text,
+                    *groups,
+                    *partitions,
+                    *patterns,
+                    *scheme,
+                    out,
                 );
             }
             let mut spec = CampaignSpec::new(*patterns, *groups, *partitions);
@@ -220,8 +228,8 @@ fn execute<W: Write>(
             partitions,
             scheme,
         } => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let descriptor = SocDescriptor::parse(&text).map_err(|e| e.to_string())?;
             let soc = descriptor.build().map_err(|e| e.to_string())?;
             let core = soc
@@ -259,6 +267,115 @@ fn execute<W: Write>(
                 report.dr,
                 report.dr_pruned,
                 localization.top1_accuracy * 100.0
+            )
+            .map_err(io_err)?;
+            Ok(())
+        }
+        Command::Noise {
+            circuit,
+            groups,
+            partitions,
+            patterns,
+            faults,
+            scheme,
+            flip,
+            dropout,
+            intermittent,
+            miss,
+            xcorrupt,
+            seed,
+            votes,
+            retries,
+            threads,
+        } => {
+            let netlist = load(circuit)?;
+            let mut spec = CampaignSpec::new(*patterns, *groups, *partitions);
+            spec.num_faults = *faults;
+            let campaign =
+                PreparedCampaign::from_circuit(&netlist, &spec).map_err(|e| e.to_string())?;
+            let mut config = NoiseConfig::noiseless(*seed);
+            config.flip_rate = *flip;
+            config.dropout_rate = *dropout;
+            config.intermittent_rate = *intermittent;
+            config.intermittent_miss = *miss;
+            config.x_corrupt_fraction = *xcorrupt;
+            let noise = NoiseModel::new(config).map_err(|e| e.to_string())?;
+            let policy = RobustPolicy {
+                max_retry_rounds: *retries,
+                votes: *votes,
+            };
+            let report = campaign
+                .run_robust_parallel(*scheme, &noise, &policy, *threads)
+                .map_err(|e| e.to_string())?;
+            if let Some(path) = audit {
+                let trail = campaign
+                    .audit_robust(*scheme, &noise, &policy)
+                    .map_err(|e| e.to_string())?;
+                scan_obs::export::write_file(path, &trail.to_ndjson())
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "audit: wrote {} robust fault record(s) to {}",
+                    trail.faults.len(),
+                    path.display()
+                );
+            }
+            if json {
+                let mut o = JsonObject::new();
+                o.string("circuit", netlist.name())
+                    .string("scheme", scheme.name())
+                    .number("faults", report.faults as f64)
+                    .number("flip_rate", *flip)
+                    .number("dropout_rate", *dropout)
+                    .number("exact", report.exact as f64)
+                    .number("degraded", report.degraded as f64)
+                    .number("inconclusive", report.inconclusive as f64)
+                    .number("conclusive_fraction", report.conclusive_fraction())
+                    .number("dr", report.dr)
+                    .number("mean_candidates", report.mean_candidates)
+                    .number("mean_actual", report.mean_actual)
+                    .number("retry_rounds", report.retry_rounds as f64)
+                    .number("retried_sessions", report.retried_sessions as f64)
+                    .number("fallbacks", report.fallbacks as f64)
+                    .number("strict_failures", report.strict_failures as f64)
+                    .number("recovered", report.recovered as f64)
+                    .number("hits", report.hits as f64);
+                writeln!(out, "{}", o.finish()).map_err(io_err)?;
+                return Ok(());
+            }
+            writeln!(
+                out,
+                "{}: {} faults under noise (flip {:.3}, dropout {:.3}), scheme {}",
+                netlist.name(),
+                report.faults,
+                flip,
+                dropout,
+                scheme.name()
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "  confidence: {} exact, {} degraded, {} inconclusive ({:.1}% conclusive)",
+                report.exact,
+                report.degraded,
+                report.inconclusive,
+                report.conclusive_fraction() * 100.0
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "  recovery: {} retry round(s), {} session vote(s), {} fallback(s); \
+                 {} of {} strict failure(s) recovered",
+                report.retry_rounds,
+                report.retried_sessions,
+                report.fallbacks,
+                report.recovered,
+                report.strict_failures
+            )
+            .map_err(io_err)?;
+            writeln!(
+                out,
+                "  DR {:.3} over conclusive faults, mean candidates {:.1}, mean failing cells {:.1}",
+                report.dr, report.mean_candidates, report.mean_actual
             )
             .map_err(io_err)?;
             Ok(())
@@ -322,8 +439,8 @@ fn execute<W: Write>(
             Ok(())
         }
         Command::Explain { path } => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let summary = scan_diagnosis::audit::summarize_ndjson(&text)
                 .map_err(|e| format!("{path}: {e}"))?;
             write!(out, "{summary}").map_err(io_err)?;
@@ -351,8 +468,7 @@ fn write_audit(
 
 /// Reads and parses a `BENCH_<suite>.json` baseline document.
 fn load_suite(path: &str) -> Result<scan_bench::suite::SuiteResult, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     scan_bench::suite::SuiteResult::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -439,8 +555,7 @@ fn load(circuit: &str) -> Result<Netlist, String> {
 }
 
 fn load_file(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -452,8 +567,7 @@ fn load_file(path: &str) -> Result<Netlist, String> {
 mod tests {
     use super::*;
     fn run_to_string(args: &[&str]) -> (i32, String) {
-        let invocation =
-            crate::args::parse_invocation(args.iter().copied()).expect("args parse");
+        let invocation = crate::args::parse_invocation(args.iter().copied()).expect("args parse");
         let mut buffer = Vec::new();
         let code = run_invocation(&invocation, &mut buffer);
         (code, String::from_utf8(buffer).expect("utf8 output"))
@@ -491,8 +605,16 @@ mod tests {
     #[test]
     fn diagnose_on_benchmark() {
         let (code, text) = run_to_string(&[
-            "diagnose", "s27", "--groups", "2", "--partitions", "2", "--patterns", "32",
-            "--faults", "5",
+            "diagnose",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "5",
         ]);
         assert_eq!(code, 0);
         assert!(text.contains("DR"));
@@ -501,8 +623,16 @@ mod tests {
     #[test]
     fn single_fault_report_mode() {
         let (code, text) = run_to_string(&[
-            "diagnose", "s27", "--fault", "G10/SA1", "--groups", "2", "--partitions", "2",
-            "--patterns", "32",
+            "diagnose",
+            "s27",
+            "--fault",
+            "G10/SA1",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
         ]);
         assert_eq!(code, 0, "output: {text}");
         assert!(text.contains("fault G10/SA1"));
@@ -531,12 +661,115 @@ mod tests {
     #[test]
     fn json_diagnose_output() {
         let (code, text) = run_to_string(&[
-            "--json", "diagnose", "s27", "--groups", "2", "--partitions", "2", "--patterns",
-            "32", "--faults", "5",
+            "--json",
+            "diagnose",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "5",
         ]);
         assert_eq!(code, 0);
         assert!(text.contains("\"dr\":"));
         assert!(text.contains("\"dr_by_prefix\":["));
+    }
+
+    #[test]
+    fn noise_on_benchmark() {
+        let (code, text) = run_to_string(&[
+            "noise",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "5",
+            "--flip",
+            "0.02",
+            "--seed",
+            "7",
+            "--threads",
+            "1",
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.contains("confidence:"), "{text}");
+        assert!(text.contains("recovery:"), "{text}");
+    }
+
+    #[test]
+    fn noise_rejects_invalid_rate() {
+        let (code, text) = run_to_string(&["noise", "s27", "--flip", "1.5"]);
+        assert_eq!(code, 1);
+        assert!(text.contains("flip_rate"), "{text}");
+    }
+
+    #[test]
+    fn json_noise_output() {
+        let (code, text) = run_to_string(&[
+            "--json",
+            "noise",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "5",
+            "--flip",
+            "0",
+            "--threads",
+            "1",
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.contains("\"exact\":5"), "{text}");
+        assert!(text.contains("\"inconclusive\":0"), "{text}");
+        assert!(text.contains("\"retry_rounds\":0"), "{text}");
+    }
+
+    #[test]
+    fn noise_audit_out_writes_robust_trace() {
+        let dir = std::env::temp_dir().join("scanbist-noise-audit-test");
+        let path = dir.join("robust.ndjson");
+        let path_str = path.to_str().unwrap().to_owned();
+        let (code, text) = run_to_string(&[
+            "--audit-out",
+            &path_str,
+            "noise",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "6",
+            "--flip",
+            "0.1",
+            "--seed",
+            "3",
+            "--threads",
+            "1",
+        ]);
+        assert_eq!(code, 0, "output: {text}");
+        let trace = std::fs::read_to_string(&path).expect("robust audit written");
+        assert!(trace.starts_with("{\"type\":\"meta\""), "{trace}");
+        assert!(trace.contains("\"kind\":\"robust-audit\""), "{trace}");
+        assert!(trace.contains("\"confidence\""), "{trace}");
+
+        let (code, summary) = run_to_string(&["explain", &path_str]);
+        assert_eq!(code, 0, "output: {summary}");
+        assert!(summary.contains("confidence:"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -559,8 +792,18 @@ mod tests {
         let path = dir.join("nested").join("audit.ndjson");
         let path_str = path.to_str().unwrap().to_owned();
         let (code, text) = run_to_string(&[
-            "--audit-out", &path_str, "diagnose", "s27", "--groups", "2", "--partitions",
-            "2", "--patterns", "32", "--faults", "5",
+            "--audit-out",
+            &path_str,
+            "diagnose",
+            "s27",
+            "--groups",
+            "2",
+            "--partitions",
+            "2",
+            "--patterns",
+            "32",
+            "--faults",
+            "5",
         ]);
         assert_eq!(code, 0, "output: {text}");
         let trace = std::fs::read_to_string(&path).expect("audit file written");
@@ -577,8 +820,14 @@ mod tests {
 
     #[test]
     fn audit_out_rejects_single_fault_mode() {
-        let (code, text) =
-            run_to_string(&["--audit-out", "/tmp/x.ndjson", "diagnose", "s27", "--fault", "G10/SA1"]);
+        let (code, text) = run_to_string(&[
+            "--audit-out",
+            "/tmp/x.ndjson",
+            "diagnose",
+            "s27",
+            "--fault",
+            "G10/SA1",
+        ]);
         assert_eq!(code, 1);
         assert!(text.contains("--audit-out"), "{text}");
     }
@@ -620,14 +869,20 @@ mod tests {
         std::fs::write(&slow, suite_fixture(2_000)).unwrap();
 
         let (code, text) = run_to_string(&[
-            "bench", "--compare", same.to_str().unwrap(), "--baseline",
+            "bench",
+            "--compare",
+            same.to_str().unwrap(),
+            "--baseline",
             baseline.to_str().unwrap(),
         ]);
         assert_eq!(code, 0, "identical files must pass: {text}");
         assert!(text.contains("PASS"), "{text}");
 
         let (code, text) = run_to_string(&[
-            "bench", "--compare", slow.to_str().unwrap(), "--baseline",
+            "bench",
+            "--compare",
+            slow.to_str().unwrap(),
+            "--baseline",
             baseline.to_str().unwrap(),
         ]);
         assert_eq!(code, 1, "2x slowdown must fail: {text}");
@@ -635,8 +890,13 @@ mod tests {
 
         // A generous threshold lets the same slowdown through.
         let (code, _) = run_to_string(&[
-            "bench", "--compare", slow.to_str().unwrap(), "--baseline",
-            baseline.to_str().unwrap(), "--threshold", "1.5",
+            "bench",
+            "--compare",
+            slow.to_str().unwrap(),
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--threshold",
+            "1.5",
         ]);
         assert_eq!(code, 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -653,7 +913,11 @@ mod tests {
         )
         .unwrap();
         let (code, text) = run_to_string(&[
-            "bench", "--compare", bad.to_str().unwrap(), "--baseline", bad.to_str().unwrap(),
+            "bench",
+            "--compare",
+            bad.to_str().unwrap(),
+            "--baseline",
+            bad.to_str().unwrap(),
         ]);
         assert_eq!(code, 1);
         assert!(text.contains("kernels"), "{text}");
@@ -666,8 +930,16 @@ mod tests {
         let out_path = dir.join("BENCH_smoke.json");
         let out_str = out_path.to_str().unwrap().to_owned();
         let (code, text) = run_to_string(&[
-            "bench", "--quick", "--suite", "smoke", "--repeats", "1", "--warmup", "0",
-            "--out", &out_str,
+            "bench",
+            "--quick",
+            "--suite",
+            "smoke",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+            "--out",
+            &out_str,
         ]);
         assert_eq!(code, 0, "output: {text}");
         assert!(text.contains("fault_sim"), "{text}");
@@ -677,9 +949,7 @@ mod tests {
         assert_eq!(parsed.kernels.len(), 7);
 
         // The file it just wrote is its own fixed point under compare.
-        let (code, text) = run_to_string(&[
-            "bench", "--compare", &out_str, "--baseline", &out_str,
-        ]);
+        let (code, text) = run_to_string(&["bench", "--compare", &out_str, "--baseline", &out_str]);
         assert_eq!(code, 0, "output: {text}");
         std::fs::remove_dir_all(&dir).ok();
     }

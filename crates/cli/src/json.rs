@@ -72,7 +72,13 @@ impl JsonObject {
         self.sep();
         let items: Vec<String> = values
             .iter()
-            .map(|v| if v.is_finite() { v.to_string() } else { "null".to_owned() })
+            .map(|v| {
+                if v.is_finite() {
+                    v.to_string()
+                } else {
+                    "null".to_owned()
+                }
+            })
             .collect();
         let _ = write!(self.body, "{}:[{}]", escape(key), items.join(","));
         self
@@ -122,7 +128,9 @@ mod tests {
     #[test]
     fn numbers_format_cleanly() {
         let mut o = JsonObject::new();
-        o.number("int", 42.0).number("float", 0.125).number("nan", f64::NAN);
+        o.number("int", 42.0)
+            .number("float", 0.125)
+            .number("nan", f64::NAN);
         assert_eq!(o.finish(), r#"{"int":42,"float":0.125,"nan":null}"#);
     }
 

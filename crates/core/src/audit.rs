@@ -19,6 +19,9 @@ use std::fmt::Write as _;
 
 use scan_obs::json::{self, Value};
 
+use crate::noise::NoiseConfig;
+use crate::robust::{Confidence, InconclusiveReason, RobustEvent};
+
 /// One partition's contribution to a fault's diagnosis.
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub struct AuditStep {
@@ -102,6 +105,177 @@ impl CampaignAudit {
     }
 }
 
+/// The robust-audit record of one injected fault: the strict
+/// convergence evidence plus every recovery action the fault-tolerant
+/// engine took.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RobustFaultAudit {
+    /// Fault case index within the campaign.
+    pub index: usize,
+    /// Observable truly-failing cells.
+    pub actual: usize,
+    /// Final candidate count (after mask exclusion).
+    pub final_candidates: usize,
+    /// Confidence of the resolved diagnosis.
+    pub confidence: Confidence,
+    /// Why the fault is inconclusive, when it is.
+    pub inconclusive: Option<InconclusiveReason>,
+    /// Retry rounds executed for this fault.
+    pub retry_rounds: usize,
+    /// Whether the candidates came from the weighted-voting fallback.
+    pub used_fallback: bool,
+    /// Ordered recovery actions (serialized as `retry`/`vote`/
+    /// `fallback` NDJSON records preceding the `fault` record).
+    pub events: Vec<RobustEvent>,
+    /// One step per partition of the final strict attempt.
+    pub steps: Vec<AuditStep>,
+}
+
+/// A full fault-tolerant campaign audit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RobustAudit {
+    /// Scheme name.
+    pub scheme: String,
+    /// Groups per partition.
+    pub groups: u16,
+    /// Partitions per scheme.
+    pub partitions: usize,
+    /// The noise configuration the campaign ran under.
+    pub noise: NoiseConfig,
+    /// Effective (odd) ballots per retried session.
+    pub votes: usize,
+    /// Retry-round budget.
+    pub max_retry_rounds: usize,
+    /// Per-fault records, in fault-index order.
+    pub faults: Vec<RobustFaultAudit>,
+}
+
+/// Serializes one recovery action as its NDJSON record.
+fn write_event(out: &mut String, fault_index: usize, event: &RobustEvent) {
+    match *event {
+        RobustEvent::Retry { round, sessions } => {
+            let _ = writeln!(
+                out,
+                r#"{{"type":"retry","fault":{fault_index},"round":{round},"sessions":{sessions}}}"#,
+            );
+        }
+        RobustEvent::Vote {
+            partition,
+            group,
+            fail_votes,
+            pass_votes,
+            lost_votes,
+            verdict,
+        } => {
+            let _ = writeln!(
+                out,
+                concat!(
+                    r#"{{"type":"vote","fault":{fault_index},"partition":{partition},"#,
+                    r#""group":{group},"fail":{fail},"pass":{pass},"#,
+                    r#""lost":{lost},"verdict":"{verdict}"}}"#
+                ),
+                fault_index = fault_index,
+                partition = partition,
+                group = group,
+                fail = fail_votes,
+                pass = pass_votes,
+                lost = lost_votes,
+                verdict = verdict.label(),
+            );
+        }
+        RobustEvent::Fallback {
+            partition,
+            support,
+            candidates,
+        } => {
+            let _ = writeln!(
+                out,
+                concat!(
+                    r#"{{"type":"fallback","fault":{fault_index},"partition":{partition},"#,
+                    r#""support":{support},"candidates":{candidates}}}"#
+                ),
+                fault_index = fault_index,
+                partition = partition,
+                support = support,
+                candidates = candidates,
+            );
+        }
+    }
+}
+
+impl RobustAudit {
+    /// Renders the NDJSON stream: a `meta` line (kind `robust-audit`),
+    /// then per fault its `retry`/`vote`/`fallback` event records
+    /// followed by the `fault` record. The shape is what `obs-check`
+    /// validates.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            concat!(
+                r#"{{"type":"meta","version":1,"kind":"robust-audit","scheme":"{}","#,
+                r#""groups":{},"partitions":{},"faults":{},"noise_seed":{},"#,
+                r#""flip_rate":{},"dropout_rate":{},"intermittent_rate":{},"#,
+                r#""intermittent_miss":{},"x_corrupt_fraction":{},"votes":{},"#,
+                r#""max_retry_rounds":{}}}"#
+            ),
+            self.scheme,
+            self.groups,
+            self.partitions,
+            self.faults.len(),
+            self.noise.seed,
+            self.noise.flip_rate,
+            self.noise.dropout_rate,
+            self.noise.intermittent_rate,
+            self.noise.intermittent_miss,
+            self.noise.x_corrupt_fraction,
+            self.votes,
+            self.max_retry_rounds,
+        );
+        for fault in &self.faults {
+            for event in &fault.events {
+                write_event(&mut out, fault.index, event);
+            }
+            let reason = fault
+                .inconclusive
+                .map_or(String::new(), |r| format!(r#","reason":"{}""#, r.label()));
+            let _ = write!(
+                out,
+                concat!(
+                    r#"{{"type":"fault","index":{},"actual":{},"final":{},"#,
+                    r#""confidence":"{}"{},"retry_rounds":{},"fallback":{},"steps":["#
+                ),
+                fault.index,
+                fault.actual,
+                fault.final_candidates,
+                fault.confidence.label(),
+                reason,
+                fault.retry_rounds,
+                fault.used_fallback,
+            );
+            for (i, step) in fault.steps.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let groups = step
+                    .failing_groups
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = write!(
+                    out,
+                    r#"{{"partition":{},"kind":"{}","failing_groups":[{groups}],"candidates":{}}}"#,
+                    step.partition, step.kind, step.candidates
+                );
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
 /// Summarizes an NDJSON audit trace (as written by `--audit-out`) into
 /// the human-readable report printed by `scanbist explain`.
 ///
@@ -113,6 +287,12 @@ pub fn summarize_ndjson(text: &str) -> Result<String, String> {
     let mut scheme = String::from("?");
     // (actual, final, per-step candidate counts, per-step kinds)
     let mut faults: Vec<(u64, u64, Vec<u64>, Vec<String>)> = Vec::new();
+    // Robust-audit extras: confidence tallies and recovery-event counts.
+    let mut confidences: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    let mut retries = 0usize;
+    let mut votes = 0usize;
+    let mut fallbacks = 0usize;
     for (index, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -124,9 +304,17 @@ pub fn summarize_ndjson(text: &str) -> Result<String, String> {
                     name.clone_into(&mut scheme);
                 }
             }
-            Some("fault") => faults.push(parse_fault(&value).map_err(|e| {
-                format!("line {}: {e}", index + 1)
-            })?),
+            Some("fault") => {
+                if let Some(level) = value.get("confidence").and_then(Value::as_str) {
+                    *confidences.entry(level.to_owned()).or_insert(0) += 1;
+                }
+                faults.push(
+                    parse_fault(&value).map_err(|e| format!("line {}: {e}", index + 1))?,
+                );
+            }
+            Some("retry") => retries += 1,
+            Some("vote") => votes += 1,
+            Some("fallback") => fallbacks += 1,
             Some(other) => return Err(format!("line {}: unknown event type `{other}`", index + 1)),
             None => return Err(format!("line {}: missing \"type\"", index + 1)),
         }
@@ -172,6 +360,18 @@ pub fn summarize_ndjson(text: &str) -> Result<String, String> {
             out,
             "  worst fault: #{index} ({} candidates for {} actual failing cell(s))",
             f.1, f.0
+        );
+    }
+    if !confidences.is_empty() {
+        let levels = confidences
+            .iter()
+            .map(|(level, count)| format!("{level} {count}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "  confidence: {levels}");
+        let _ = writeln!(
+            out,
+            "  recovery: {retries} retry round(s), {votes} session vote(s), {fallbacks} fallback(s)"
         );
     }
     Ok(out)
@@ -304,5 +504,105 @@ mod tests {
         assert!(summarize_ndjson("").is_err());
         assert!(summarize_ndjson(r#"{"type":"meta"}"#).is_err(), "no faults");
         assert!(summarize_ndjson(r#"{"type":"fault","actual":1}"#).is_err());
+        assert!(
+            summarize_ndjson(r#"{"type":"mystery"}"#).is_err(),
+            "unknown kinds still rejected"
+        );
+    }
+
+    fn robust_sample() -> RobustAudit {
+        RobustAudit {
+            scheme: "two-step(1+1)".into(),
+            groups: 4,
+            partitions: 2,
+            noise: {
+                let mut config = NoiseConfig::noiseless(7);
+                config.flip_rate = 0.02;
+                config
+            },
+            votes: 3,
+            max_retry_rounds: 2,
+            faults: vec![RobustFaultAudit {
+                index: 0,
+                actual: 2,
+                final_candidates: 5,
+                confidence: Confidence::Degraded,
+                inconclusive: None,
+                retry_rounds: 1,
+                used_fallback: false,
+                events: vec![
+                    RobustEvent::Retry { round: 0, sessions: 4 },
+                    RobustEvent::Vote {
+                        partition: 1,
+                        group: 2,
+                        fail_votes: 2,
+                        pass_votes: 1,
+                        lost_votes: 0,
+                        verdict: crate::noise::Verdict::Fail,
+                    },
+                    RobustEvent::Fallback {
+                        partition: 1,
+                        support: 1.5,
+                        candidates: 5,
+                    },
+                ],
+                steps: vec![AuditStep {
+                    partition: 0,
+                    kind: "interval",
+                    failing_groups: vec![1],
+                    candidates: 5,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn robust_ndjson_lines_parse_back() {
+        let text = robust_sample().to_ndjson();
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let value = json::parse(line).expect("robust audit NDJSON must be valid JSON");
+            kinds.push(
+                value
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .expect("every line has a type")
+                    .to_owned(),
+            );
+        }
+        assert_eq!(kinds, ["meta", "retry", "vote", "fallback", "fault"]);
+        let meta = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            meta.get("kind").and_then(Value::as_str),
+            Some("robust-audit")
+        );
+        assert_eq!(meta.get("flip_rate").and_then(Value::as_f64), Some(0.02));
+    }
+
+    #[test]
+    fn robust_summarize_reports_confidence_and_recovery() {
+        let summary = summarize_ndjson(&robust_sample().to_ndjson()).unwrap();
+        assert!(summary.contains("confidence: degraded 1"), "{summary}");
+        assert!(
+            summary.contains("1 retry round(s), 1 session vote(s), 1 fallback(s)"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn robust_fault_records_satisfy_strict_fault_shape() {
+        // The `fault` records of a robust audit must stay parseable by
+        // the plain-audit fault parser (obs-check shares the shape).
+        let text = robust_sample().to_ndjson();
+        let fault_line = text
+            .lines()
+            .find(|l| l.contains(r#""type":"fault""#))
+            .unwrap();
+        let value = json::parse(fault_line).unwrap();
+        parse_fault(&value).expect("robust fault keeps the strict shape");
+        assert_eq!(
+            value.get("confidence").and_then(Value::as_str),
+            Some("degraded")
+        );
     }
 }

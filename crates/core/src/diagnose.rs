@@ -2,13 +2,31 @@
 
 use scan_netlist::BitSet;
 
+use crate::error::DiagnoseError;
 use crate::session::{DiagnosisPlan, SessionOutcome};
+
+/// Consistency classification of an intersection run — the explicit
+/// outcome behind what used to be an ambiguous empty candidate set.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub enum DiagnosisStatus {
+    /// At least one session failed and the intersection is nonempty.
+    Consistent,
+    /// No session of any partition failed: nothing to diagnose.
+    AllPassed,
+    /// Sessions failed, but intersecting this partition emptied the
+    /// candidate set — the history contradicts itself.
+    Contradictory {
+        /// The 0-based partition whose step first emptied the set.
+        partition: usize,
+    },
+}
 
 /// The result of intersecting failing groups across partitions.
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub struct Diagnosis {
     candidates: BitSet,
     prefix_counts: Vec<usize>,
+    status: DiagnosisStatus,
 }
 
 impl Diagnosis {
@@ -42,6 +60,17 @@ impl Diagnosis {
         self.candidates.difference_with(excluded);
         self
     }
+
+    /// Consistency classification of this intersection run.
+    ///
+    /// An empty candidate set is ambiguous on its own; the status says
+    /// whether it means "nothing failed" ([`DiagnosisStatus::AllPassed`])
+    /// or "the history contradicts itself"
+    /// ([`DiagnosisStatus::Contradictory`]).
+    #[must_use]
+    pub fn status(&self) -> DiagnosisStatus {
+        self.status
+    }
 }
 
 /// Intersects failing groups across partitions to produce the candidate
@@ -56,6 +85,7 @@ pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
     let num_cells = layout.num_cells();
     let mut candidates = BitSet::full(num_cells);
     let mut prefix_counts = Vec::with_capacity(plan.partitions().len());
+    let mut first_empty: Option<usize> = None;
     for (p, partition) in plan.partitions().iter().enumerate() {
         let mut keep = BitSet::new(num_cells);
         for cell in &candidates {
@@ -68,10 +98,46 @@ pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
         candidates = keep;
         scan_obs::metrics::record_pow2("diagnose.candidates_per_step", candidates.len() as u64);
         prefix_counts.push(candidates.len());
+        if candidates.is_empty() && first_empty.is_none() {
+            first_empty = Some(p);
+        }
     }
+    let status = if outcome.all_passed() {
+        DiagnosisStatus::AllPassed
+    } else {
+        match first_empty {
+            Some(partition) => DiagnosisStatus::Contradictory { partition },
+            None => DiagnosisStatus::Consistent,
+        }
+    };
     Diagnosis {
         candidates,
         prefix_counts,
+        status,
+    }
+}
+
+/// Like [`diagnose`], but surfaces histories that cannot yield a
+/// meaningful candidate set as explicit errors instead of silently
+/// returning an empty [`Diagnosis`].
+///
+/// # Errors
+///
+/// Returns [`DiagnoseError::AllSessionsPassed`] when no session of any
+/// partition failed, and [`DiagnoseError::ContradictoryHistory`] when
+/// intersecting some partition's failing groups empties the candidate
+/// set even though sessions did fail.
+pub fn diagnose_checked(
+    plan: &DiagnosisPlan,
+    outcome: &SessionOutcome,
+) -> Result<Diagnosis, DiagnoseError> {
+    let diagnosis = diagnose(plan, outcome);
+    match diagnosis.status() {
+        DiagnosisStatus::Consistent => Ok(diagnosis),
+        DiagnosisStatus::AllPassed => Err(DiagnoseError::AllSessionsPassed),
+        DiagnosisStatus::Contradictory { partition } => {
+            Err(DiagnoseError::ContradictoryHistory { partition })
+        }
     }
 }
 
@@ -129,6 +195,60 @@ mod tests {
         let outcome = plan.analyze(std::iter::empty());
         let diag = diagnose(&plan, &outcome);
         assert_eq!(diag.num_candidates(), 0);
+        assert_eq!(diag.status(), DiagnosisStatus::AllPassed);
+        assert_eq!(
+            diagnose_checked(&plan, &outcome),
+            Err(DiagnoseError::AllSessionsPassed)
+        );
+    }
+
+    #[test]
+    fn consistent_history_has_consistent_status() {
+        let plan = plan(100, 4, 6);
+        let outcome = plan.analyze([(42usize, 3usize), (42, 5)]);
+        let diag = diagnose(&plan, &outcome);
+        assert_eq!(diag.status(), DiagnosisStatus::Consistent);
+        let checked = diagnose_checked(&plan, &outcome).expect("consistent history");
+        assert_eq!(checked, diag);
+    }
+
+    #[test]
+    fn contradictory_history_names_first_empty_partition() {
+        let plan = plan(64, 8, 3);
+        // Fabricate a contradiction: partition 0 says group of cell 20
+        // failed, partition 1 says a group *not* containing cell 20 (or
+        // any of its co-group cells) failed. Build it directly from
+        // per-session verdicts.
+        let p0 = plan.partitions()[0].group_of(20);
+        let g0: Vec<usize> = plan.partitions()[0].members(p0).collect();
+        // Pick a partition-1 group containing none of g0's cells, if
+        // one exists; the random partitions at 8 groups on 64 cells
+        // make this overwhelmingly likely.
+        let p1_groups: std::collections::HashSet<usize> = g0
+            .iter()
+            .map(|&c| usize::from(plan.partitions()[1].group_of(c)))
+            .collect();
+        let disjoint = (0..usize::from(plan.partitions()[1].num_groups()))
+            .find(|g| !p1_groups.contains(g))
+            .expect("some partition-1 group avoids all of g0");
+        let num_partitions = plan.partitions().len();
+        let max_groups = plan
+            .partitions()
+            .iter()
+            .map(scan_bist::Partition::num_groups)
+            .max()
+            .unwrap() as usize;
+        let mut failed = vec![vec![false; max_groups]; num_partitions];
+        failed[0][p0 as usize] = true;
+        failed[1][disjoint] = true;
+        let outcome = SessionOutcome::from_verdicts(failed);
+        let diag = diagnose(&plan, &outcome);
+        assert_eq!(diag.num_candidates(), 0);
+        assert_eq!(diag.status(), DiagnosisStatus::Contradictory { partition: 1 });
+        assert_eq!(
+            diagnose_checked(&plan, &outcome),
+            Err(DiagnoseError::ContradictoryHistory { partition: 1 })
+        );
     }
 
     #[test]

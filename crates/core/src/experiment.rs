@@ -22,11 +22,13 @@ use scan_netlist::{BitSet, Netlist, ScanOrdering, ScanView};
 use scan_sim::{ErrorMap, FaultSimulator, PatternSet, PatternShapeError};
 use scan_soc::Soc;
 
-use crate::diagnose::diagnose;
-use crate::error::BuildPlanError;
+use crate::diagnose::{diagnose, DiagnosisStatus};
+use crate::error::{BuildPlanError, NoiseConfigError};
 use crate::layout::ChainLayout;
 use crate::metrics::DrAccumulator;
+use crate::noise::NoiseModel;
 use crate::pruning::prune_by_cover;
+use crate::robust::{diagnose_robust, Confidence, RobustPolicy};
 use crate::session::{BistConfig, DiagnosisPlan};
 
 /// Parameters of a fault-injection campaign.
@@ -97,6 +99,7 @@ impl CampaignSpec {
 
 /// Errors raised while preparing or running a campaign.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum CampaignError {
     /// Stimulus generation failed (pattern/interface mismatch).
     Patterns(PatternShapeError),
@@ -111,6 +114,11 @@ pub enum CampaignError {
     },
     /// No detected faults were found (empty or untestable circuit).
     NoDetectedFaults,
+    /// An SOC-level operation was requested on a campaign that was not
+    /// prepared from an SOC.
+    NotSocCampaign,
+    /// The noise configuration carries an unusable rate.
+    Noise(NoiseConfigError),
 }
 
 impl fmt::Display for CampaignError {
@@ -122,6 +130,10 @@ impl fmt::Display for CampaignError {
                 write!(f, "faulty core index {core} out of range ({available} cores)")
             }
             CampaignError::NoDetectedFaults => write!(f, "no detected faults to diagnose"),
+            CampaignError::NotSocCampaign => {
+                write!(f, "campaign was not prepared from an SOC; no core context")
+            }
+            CampaignError::Noise(e) => write!(f, "{e}"),
         }
     }
 }
@@ -131,6 +143,7 @@ impl Error for CampaignError {
         match self {
             CampaignError::Patterns(e) => Some(e),
             CampaignError::Plan(e) => Some(e),
+            CampaignError::Noise(e) => Some(e),
             _ => None,
         }
     }
@@ -145,6 +158,12 @@ impl From<PatternShapeError> for CampaignError {
 impl From<BuildPlanError> for CampaignError {
     fn from(e: BuildPlanError) -> Self {
         CampaignError::Plan(e)
+    }
+}
+
+impl From<NoiseConfigError> for CampaignError {
+    fn from(e: NoiseConfigError) -> Self {
+        CampaignError::Noise(e)
     }
 }
 
@@ -211,6 +230,89 @@ pub(crate) struct LocCaseStats {
     pub(crate) ranked: bool,
     pub(crate) correct: bool,
     pub(crate) margin: f64,
+}
+
+/// Per-fault robust-diagnosis statistics: what one case contributes to
+/// a [`RobustReport`]. Pure like [`CaseStats`], so robust campaigns
+/// shard across threads with bit-identical folds.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RobustCaseStats {
+    pub(crate) confidence: Confidence,
+    pub(crate) candidates: usize,
+    pub(crate) actual: usize,
+    pub(crate) retry_rounds: usize,
+    pub(crate) retried_sessions: usize,
+    pub(crate) used_fallback: bool,
+    /// Whether the *strict* intersection over the attempt-0 observed
+    /// verdicts was consistent (the baseline the robust engine is
+    /// measured against).
+    pub(crate) strict_ok: bool,
+    /// Whether the (masked) candidate set contains at least one truly
+    /// failing observable cell.
+    pub(crate) hit: bool,
+}
+
+/// Aggregate results of a fault-tolerant (noisy) campaign run.
+#[derive(Clone, Debug)]
+pub struct RobustReport {
+    /// The scheme that was run.
+    pub scheme: Scheme,
+    /// Faults diagnosed.
+    pub faults: usize,
+    /// Faults resolved with [`Confidence::Exact`].
+    pub exact: usize,
+    /// Faults resolved with [`Confidence::Degraded`].
+    pub degraded: usize,
+    /// Faults left [`Confidence::Inconclusive`].
+    pub inconclusive: usize,
+    /// Diagnostic resolution over the conclusive faults.
+    pub dr: f64,
+    /// Mean candidates per conclusive fault.
+    pub mean_candidates: f64,
+    /// Mean truly failing observable cells per conclusive fault.
+    pub mean_actual: f64,
+    /// Retry rounds executed, summed over faults.
+    pub retry_rounds: u64,
+    /// Sessions re-executed, summed over faults.
+    pub retried_sessions: u64,
+    /// Faults whose candidates came from the weighted-voting fallback.
+    pub fallbacks: usize,
+    /// Faults where the strict intersection over the noisy attempt-0
+    /// verdicts was *not* consistent (empty/contradictory/all-passed).
+    pub strict_failures: usize,
+    /// Strict failures the robust engine still resolved to Exact or
+    /// Degraded — the headline robustness number.
+    pub recovered: usize,
+    /// Conclusive faults whose candidate set contains at least one
+    /// truly failing cell.
+    pub hits: usize,
+}
+
+impl RobustReport {
+    /// Faults resolved Exact or Degraded.
+    #[must_use]
+    pub fn conclusive(&self) -> usize {
+        self.exact + self.degraded
+    }
+
+    /// Fraction of faults resolved Exact or Degraded.
+    #[must_use]
+    pub fn conclusive_fraction(&self) -> f64 {
+        self.conclusive() as f64 / self.faults.max(1) as f64
+    }
+
+    /// Fraction of strict failures the robust engine recovered.
+    #[must_use]
+    pub fn recovered_fraction(&self) -> f64 {
+        self.recovered as f64 / self.strict_failures.max(1) as f64
+    }
+
+    /// Fraction of conclusive faults whose candidates contain a truly
+    /// failing cell.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / self.conclusive().max(1) as f64
+    }
 }
 
 /// A campaign with stimuli applied and faults simulated, ready to be
@@ -661,8 +763,8 @@ impl PreparedCampaign {
     /// # Errors
     ///
     /// Returns [`CampaignError::Plan`] if the plan cannot be built, or
-    /// [`CampaignError::NoSuchCore`] if this campaign was not prepared
-    /// from an SOC.
+    /// [`CampaignError::NotSocCampaign`] if this campaign was not
+    /// prepared from an SOC.
     pub fn run_localization(&self, scheme: Scheme) -> Result<LocalizationReport, CampaignError> {
         let ctx = self.soc_context()?;
         let plan = self.build_plan(scheme)?;
@@ -685,11 +787,259 @@ impl PreparedCampaign {
         crate::parallel::run_localization(self, scheme, threads)
     }
 
-    pub(crate) fn soc_context(&self) -> Result<&SocContext, CampaignError> {
-        self.soc_context.as_ref().ok_or(CampaignError::NoSuchCore {
-            core: usize::MAX,
-            available: 0,
+    /// Cells excluded from evidence and candidates under `noise`: the
+    /// spec's X-masked cells plus the noise model's X-corrupted cells.
+    pub(crate) fn robust_masked(&self, noise: &NoiseModel) -> BitSet {
+        let mut masked = self.masked_cells();
+        masked.union_with(&noise.corrupted_cells(self.layout.num_cells()));
+        masked
+    }
+
+    /// Runs the fault-tolerant diagnosis for fault case `index` under a
+    /// prebuilt plan and noise model. Pure: reads only shared state, so
+    /// it may run on any thread.
+    pub(crate) fn robust_case_stats(
+        &self,
+        plan: &DiagnosisPlan,
+        masked: &BitSet,
+        noise: &NoiseModel,
+        policy: &RobustPolicy,
+        index: usize,
+    ) -> RobustCaseStats {
+        let case = &self.cases[index];
+        let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
+        let failing: Vec<usize> = case
+            .errors
+            .failing_positions()
+            .iter()
+            .filter(observable)
+            .collect();
+        let truth = plan.analyze(
+            case.errors
+                .iter_bits()
+                .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                .filter(|(cell, _)| !masked.contains(*cell)),
+        );
+        let fault = index as u64;
+        let strict_ok = diagnose(plan, &noise.observe(&truth, fault, 0).to_outcome()).status()
+            == DiagnosisStatus::Consistent;
+        let robust = diagnose_robust(plan, &truth, noise, policy, fault);
+        let mut candidates = robust.candidates;
+        if !masked.is_empty() {
+            candidates.difference_with(masked);
+        }
+        let hit = robust.confidence != Confidence::Inconclusive
+            && failing
+                .iter()
+                .any(|&pos| candidates.contains(self.local_to_global[pos]));
+        scan_obs::metrics::incr("robust.cases");
+        scan_obs::metrics::record_pow2("robust.candidates_per_fault", candidates.len() as u64);
+        RobustCaseStats {
+            confidence: robust.confidence,
+            candidates: candidates.len(),
+            actual: failing.len(),
+            retry_rounds: robust.retry_rounds,
+            retried_sessions: robust.retried_sessions,
+            used_fallback: robust.used_fallback,
+            strict_ok,
+            hit,
+        }
+    }
+
+    /// Folds per-case robust statistics, in fault-index order, into a
+    /// [`RobustReport`] — shared by serial and sharded runs.
+    pub(crate) fn fold_robust_report(
+        &self,
+        scheme: Scheme,
+        stats: impl IntoIterator<Item = RobustCaseStats>,
+    ) -> RobustReport {
+        let mut acc = DrAccumulator::new();
+        let mut exact = 0usize;
+        let mut degraded = 0usize;
+        let mut inconclusive = 0usize;
+        let mut retry_rounds = 0u64;
+        let mut retried_sessions = 0u64;
+        let mut fallbacks = 0usize;
+        let mut strict_failures = 0usize;
+        let mut recovered = 0usize;
+        let mut hits = 0usize;
+        for case in stats {
+            match case.confidence {
+                Confidence::Exact => exact += 1,
+                Confidence::Degraded => degraded += 1,
+                Confidence::Inconclusive => inconclusive += 1,
+            }
+            let conclusive = case.confidence != Confidence::Inconclusive;
+            if conclusive {
+                acc.add(case.candidates, case.actual);
+            }
+            retry_rounds += case.retry_rounds as u64;
+            retried_sessions += case.retried_sessions as u64;
+            if case.used_fallback {
+                fallbacks += 1;
+            }
+            if !case.strict_ok {
+                strict_failures += 1;
+                if conclusive {
+                    recovered += 1;
+                }
+            }
+            if case.hit {
+                hits += 1;
+            }
+        }
+        scan_obs::metrics::add("robust.strict_failures", strict_failures as u64);
+        scan_obs::metrics::add("robust.recovered", recovered as u64);
+        RobustReport {
+            scheme,
+            faults: self.cases.len(),
+            exact,
+            degraded,
+            inconclusive,
+            dr: acc.dr(),
+            mean_candidates: acc.mean_candidates(),
+            mean_actual: acc.mean_actual(),
+            retry_rounds,
+            retried_sessions,
+            fallbacks,
+            strict_failures,
+            recovered,
+            hits,
+        }
+    }
+
+    /// Runs the fault-tolerant diagnosis for one scheme over every
+    /// prepared fault, serially. (`noise` is validated at
+    /// [`NoiseModel::new`]; an invalid config surfaces there as
+    /// [`CampaignError::Noise`] via `From`.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Plan`] if the diagnosis plan cannot be
+    /// built for this layout/spec.
+    pub fn run_robust(
+        &self,
+        scheme: Scheme,
+        noise: &NoiseModel,
+        policy: &RobustPolicy,
+    ) -> Result<RobustReport, CampaignError> {
+        let _span = scan_obs::span!("diagnose_robust_campaign");
+        let plan = self.build_plan(scheme)?;
+        let masked = self.robust_masked(noise);
+        let stats =
+            (0..self.cases.len()).map(|i| self.robust_case_stats(&plan, &masked, noise, policy, i));
+        Ok(self.fold_robust_report(scheme, stats))
+    }
+
+    /// [`run_robust`](Self::run_robust) sharded across `threads` std
+    /// threads (`0` = one per available core). Bit-identical to the
+    /// serial run at any thread count — every noise draw is keyed by
+    /// `(seed, fault, attempt, session)`, never by evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_robust`](Self::run_robust).
+    pub fn run_robust_parallel(
+        &self,
+        scheme: Scheme,
+        noise: &NoiseModel,
+        policy: &RobustPolicy,
+        threads: usize,
+    ) -> Result<RobustReport, CampaignError> {
+        crate::parallel::run_robust(self, scheme, noise, policy, threads)
+    }
+
+    /// Replays the fault-tolerant diagnosis recording a per-fault
+    /// robust audit trail: confidence, retry/vote/fallback events, and
+    /// the convergence steps of the final strict attempt (see
+    /// [`crate::audit::RobustAudit`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_robust`](Self::run_robust).
+    pub fn audit_robust(
+        &self,
+        scheme: Scheme,
+        noise: &NoiseModel,
+        policy: &RobustPolicy,
+    ) -> Result<crate::audit::RobustAudit, CampaignError> {
+        let _span = scan_obs::span!("audit_robust");
+        let plan = self.build_plan(scheme)?;
+        let masked = self.robust_masked(noise);
+        let kinds: Vec<&'static str> = plan
+            .partitions()
+            .iter()
+            .map(|p| {
+                if p.is_interval() {
+                    "interval"
+                } else {
+                    "random-selection"
+                }
+            })
+            .collect();
+        let faults = (0..self.cases.len())
+            .map(|index| {
+                let case = &self.cases[index];
+                let observable = |pos: &usize| !masked.contains(self.local_to_global[*pos]);
+                let actual = case
+                    .errors
+                    .failing_positions()
+                    .iter()
+                    .filter(observable)
+                    .count();
+                let truth = plan.analyze(
+                    case.errors
+                        .iter_bits()
+                        .map(|(pos, pat)| (self.local_to_global[pos], pat))
+                        .filter(|(cell, _)| !masked.contains(*cell)),
+                );
+                let robust = diagnose_robust(&plan, &truth, noise, policy, index as u64);
+                let mut candidates = robust.candidates;
+                if !masked.is_empty() {
+                    candidates.difference_with(&masked);
+                }
+                let steps = robust
+                    .prefix_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &count)| crate::audit::AuditStep {
+                        partition: p,
+                        kind: kinds[p],
+                        failing_groups: (0..robust.verdicts.num_groups(p))
+                            .map(|g| g as u16)
+                            .filter(|&g| {
+                                robust.verdicts.verdict(p, g) == crate::noise::Verdict::Fail
+                            })
+                            .collect(),
+                        candidates: count,
+                    })
+                    .collect();
+                crate::audit::RobustFaultAudit {
+                    index,
+                    actual,
+                    final_candidates: candidates.len(),
+                    confidence: robust.confidence,
+                    inconclusive: robust.inconclusive,
+                    retry_rounds: robust.retry_rounds,
+                    used_fallback: robust.used_fallback,
+                    events: robust.events,
+                    steps,
+                }
+            })
+            .collect();
+        Ok(crate::audit::RobustAudit {
+            scheme: scheme.name().to_owned(),
+            groups: self.spec.groups,
+            partitions: self.spec.partitions,
+            noise: *noise.config(),
+            votes: policy.effective_votes(),
+            max_retry_rounds: policy.max_retry_rounds,
+            faults,
         })
+    }
+
+    pub(crate) fn soc_context(&self) -> Result<&SocContext, CampaignError> {
+        self.soc_context.as_ref().ok_or(CampaignError::NotSocCampaign)
     }
 
     /// Localizes fault case `index` to a core. Pure, like
@@ -805,6 +1155,7 @@ pub fn lfsr_patterns(netlist: &Netlist, num_patterns: usize, seed: u64) -> Patte
 #[allow(clippy::float_cmp)] // reproducibility checks compare exact values
 mod tests {
     use super::*;
+    use crate::noise::NoiseConfig;
     use scan_netlist::bench;
     use scan_netlist::generate;
 
@@ -982,5 +1333,97 @@ mod tests {
         let report = campaign.run(Scheme::TWO_STEP_DEFAULT).unwrap();
         assert!(report.faults > 0);
         assert!(report.dr >= -1.0);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // bit-identity with the strict engine is the contract
+    fn robust_noiseless_matches_strict_campaign() {
+        let n = generate::benchmark("s953");
+        let campaign = PreparedCampaign::from_circuit(&n, &spec_small()).unwrap();
+        let strict = campaign.run(Scheme::TWO_STEP_DEFAULT).unwrap();
+        let noise = NoiseModel::new(NoiseConfig::noiseless(7)).unwrap();
+        let robust = campaign
+            .run_robust(Scheme::TWO_STEP_DEFAULT, &noise, &RobustPolicy::default())
+            .unwrap();
+        // Noise rate 0: every fault resolves exactly, nothing retried,
+        // and DR/candidate means are bit-identical to the strict run.
+        assert_eq!(robust.exact, robust.faults);
+        assert_eq!(robust.degraded, 0);
+        assert_eq!(robust.inconclusive, 0);
+        assert_eq!(robust.retry_rounds, 0);
+        assert_eq!(robust.retried_sessions, 0);
+        assert_eq!(robust.fallbacks, 0);
+        assert_eq!(robust.strict_failures, 0);
+        assert_eq!(robust.dr, strict.dr);
+        assert_eq!(robust.mean_candidates, strict.mean_candidates);
+        assert_eq!(robust.mean_actual, strict.mean_actual);
+    }
+
+    #[test]
+    fn robust_campaign_recovers_most_strict_failures_under_noise() {
+        let n = generate::benchmark("s953");
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 60;
+        let campaign = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let mut cfg = NoiseConfig::noiseless(11);
+        cfg.flip_rate = 0.02;
+        let noise = NoiseModel::new(cfg).unwrap();
+        let report = campaign
+            .run_robust(Scheme::TWO_STEP_DEFAULT, &noise, &RobustPolicy::default())
+            .unwrap();
+        assert_eq!(report.faults, campaign.num_faults());
+        assert!(
+            report.strict_failures > 0,
+            "2% flips should break some strict intersections"
+        );
+        assert!(
+            report.conclusive_fraction() >= 0.9,
+            "conclusive fraction {} below the 90% bar",
+            report.conclusive_fraction()
+        );
+        assert!(report.recovered_fraction() >= 0.5);
+        assert!(report.hits > 0);
+    }
+
+    #[test]
+    fn robust_invalid_noise_config_is_a_campaign_error() {
+        let mut cfg = NoiseConfig::noiseless(1);
+        cfg.flip_rate = 1.5;
+        let err = NoiseModel::new(cfg).map_err(CampaignError::from).unwrap_err();
+        assert!(matches!(err, CampaignError::Noise(_)));
+        assert!(err.to_string().contains("flip_rate"));
+    }
+
+    #[test]
+    fn robust_audit_covers_every_fault() {
+        let n = generate::benchmark("s386");
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 12;
+        let campaign = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let mut cfg = NoiseConfig::noiseless(5);
+        cfg.flip_rate = 0.05;
+        let noise = NoiseModel::new(cfg).unwrap();
+        let audit = campaign
+            .audit_robust(Scheme::TWO_STEP_DEFAULT, &noise, &RobustPolicy::default())
+            .unwrap();
+        assert_eq!(audit.faults.len(), campaign.num_faults());
+        assert_eq!(audit.votes, 3);
+        for fault in &audit.faults {
+            assert_eq!(fault.steps.len(), spec.partitions);
+            assert_eq!(
+                fault.confidence == Confidence::Inconclusive,
+                fault.inconclusive.is_some()
+            );
+        }
+        // The audit replays the same engine the report ran.
+        let report = campaign
+            .run_robust(Scheme::TWO_STEP_DEFAULT, &noise, &RobustPolicy::default())
+            .unwrap();
+        let exact = audit
+            .faults
+            .iter()
+            .filter(|f| f.confidence == Confidence::Exact)
+            .count();
+        assert_eq!(exact, report.exact);
     }
 }

@@ -60,8 +60,10 @@ mod error;
 pub mod experiment;
 mod layout;
 mod metrics;
+pub mod noise;
 pub mod parallel;
 mod pruning;
+pub mod robust;
 pub mod ranking;
 pub mod report;
 pub mod schedule;
@@ -71,11 +73,16 @@ pub mod soc_diag;
 pub mod vector_diag;
 pub mod windows;
 
-pub use audit::{AuditStep, CampaignAudit, FaultAudit};
-pub use diagnose::{diagnose, Diagnosis};
-pub use error::BuildPlanError;
+pub use audit::{AuditStep, CampaignAudit, FaultAudit, RobustAudit, RobustFaultAudit};
+pub use diagnose::{diagnose, diagnose_checked, Diagnosis, DiagnosisStatus};
+pub use error::{BuildPlanError, DiagnoseError, NoiseConfigError};
+pub use noise::{NoiseConfig, NoiseModel, ObservedOutcome, Verdict};
+pub use robust::{
+    diagnose_robust, Confidence, InconclusiveReason, RobustDiagnosis, RobustPolicy,
+};
 pub use experiment::{
-    lfsr_patterns, CampaignError, CampaignSpec, LocalizationReport, PreparedCampaign, SchemeReport,
+    lfsr_patterns, CampaignError, CampaignSpec, LocalizationReport, PreparedCampaign,
+    RobustReport, SchemeReport,
 };
 pub use layout::ChainLayout;
 pub use metrics::DrAccumulator;

@@ -31,7 +31,11 @@ use std::num::NonZeroUsize;
 
 use scan_bist::Scheme;
 
-use crate::experiment::{CampaignError, LocalizationReport, PreparedCampaign, SchemeReport};
+use crate::experiment::{
+    CampaignError, LocalizationReport, PreparedCampaign, RobustReport, SchemeReport,
+};
+use crate::noise::NoiseModel;
+use crate::robust::RobustPolicy;
 
 /// Number of worker threads the `threads = 0` ("auto") setting resolves
 /// to: one per core the OS reports available, with a floor of 1.
@@ -167,6 +171,31 @@ pub fn candidate_sets(
     }))
 }
 
+/// Runs the fault-tolerant (noisy) diagnosis over every prepared fault,
+/// sharded across `threads` std threads. Bit-identical to
+/// [`PreparedCampaign::run_robust`] at any thread count: every noise
+/// draw is keyed by `(seed, fault, attempt, session)` rather than by a
+/// shared sequential stream, and the fold runs in fault-index order.
+///
+/// # Errors
+///
+/// Same as [`PreparedCampaign::run_robust`].
+pub fn run_robust(
+    campaign: &PreparedCampaign,
+    scheme: Scheme,
+    noise: &NoiseModel,
+    policy: &RobustPolicy,
+    threads: usize,
+) -> Result<RobustReport, CampaignError> {
+    let _span = scan_obs::span!("diagnose_robust_campaign");
+    let plan = campaign.build_plan(scheme)?;
+    let masked = campaign.robust_masked(noise);
+    let stats = sharded_map(campaign.num_faults(), threads, |i| {
+        campaign.robust_case_stats(&plan, &masked, noise, policy, i)
+    });
+    Ok(campaign.fold_robust_report(scheme, stats))
+}
+
 /// First-level SOC diagnosis (which core is faulty?) sharded across
 /// `threads` std threads. Bit-identical to
 /// [`PreparedCampaign::run_localization`] — the floating-point margin
@@ -221,6 +250,39 @@ mod tests {
     fn derive_seed_matches_rng_crate() {
         assert_eq!(derive_seed(2003, 7), scan_rng::derive(2003, 7));
         assert_ne!(derive_seed(2003, 7), derive_seed(2003, 8));
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)]
+    fn parallel_robust_run_is_bit_identical_to_serial() {
+        use crate::noise::{NoiseConfig, NoiseModel};
+        let n = generate::benchmark("s386");
+        let mut spec = CampaignSpec::new(64, 4, 4);
+        spec.num_faults = 30;
+        let campaign = PreparedCampaign::from_circuit(&n, &spec).unwrap();
+        let mut cfg = NoiseConfig::noiseless(13);
+        cfg.flip_rate = 0.03;
+        cfg.dropout_rate = 0.01;
+        let noise = NoiseModel::new(cfg).unwrap();
+        let policy = RobustPolicy::default();
+        let serial = campaign
+            .run_robust(Scheme::TWO_STEP_DEFAULT, &noise, &policy)
+            .unwrap();
+        for threads in [1, 2, 8] {
+            let par = campaign
+                .run_robust_parallel(Scheme::TWO_STEP_DEFAULT, &noise, &policy, threads)
+                .unwrap();
+            assert_eq!(par.exact, serial.exact);
+            assert_eq!(par.degraded, serial.degraded);
+            assert_eq!(par.inconclusive, serial.inconclusive);
+            assert_eq!(par.dr, serial.dr);
+            assert_eq!(par.retry_rounds, serial.retry_rounds);
+            assert_eq!(par.retried_sessions, serial.retried_sessions);
+            assert_eq!(par.fallbacks, serial.fallbacks);
+            assert_eq!(par.strict_failures, serial.strict_failures);
+            assert_eq!(par.recovered, serial.recovered);
+            assert_eq!(par.hits, serial.hits);
+        }
     }
 
     #[test]

@@ -75,6 +75,21 @@ impl SessionOutcome {
         SessionOutcome { fails, signatures }
     }
 
+    /// Builds an outcome from bare per-session pass/fail verdicts
+    /// (`fails[partition][group]`), e.g. verdicts perturbed by the
+    /// [`noise`](crate::noise) layer where true signatures no longer
+    /// exist. Error signatures are synthesized as `1` for failing
+    /// sessions; callers that need real signatures must use
+    /// [`SessionOutcome::from_signatures`].
+    #[must_use]
+    pub fn from_verdicts(fails: Vec<Vec<bool>>) -> Self {
+        let signatures = fails
+            .iter()
+            .map(|row| row.iter().map(|&f| u64::from(f)).collect())
+            .collect();
+        SessionOutcome { fails, signatures }
+    }
+
     /// Whether group `g` of partition `p` failed.
     ///
     /// # Panics
@@ -99,6 +114,16 @@ impl SessionOutcome {
     #[must_use]
     pub fn num_partitions(&self) -> usize {
         self.fails.len()
+    }
+
+    /// Number of session groups recorded for one partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    #[must_use]
+    pub fn num_groups(&self, partition: usize) -> usize {
+        self.fails[partition].len()
     }
 
     /// Failing groups of one partition.

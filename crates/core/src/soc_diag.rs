@@ -9,7 +9,11 @@
 use scan_bist::Scheme;
 use scan_soc::Soc;
 
-use crate::experiment::{CampaignError, CampaignSpec, PreparedCampaign, SchemeReport};
+use crate::experiment::{
+    CampaignError, CampaignSpec, PreparedCampaign, RobustReport, SchemeReport,
+};
+use crate::noise::NoiseModel;
+use crate::robust::RobustPolicy;
 
 /// Results for one failing core: one report per requested scheme.
 #[derive(Clone, Debug)]
@@ -65,6 +69,47 @@ pub fn diagnose_each_core_parallel(
     Ok(rows)
 }
 
+/// Fault-tolerant results for one failing core.
+#[derive(Clone, Debug)]
+pub struct RobustCoreRow {
+    /// Name of the (assumed faulty) core.
+    pub core: String,
+    /// The robust campaign report for that core's faults.
+    pub report: RobustReport,
+}
+
+/// Runs the fault-tolerant diagnosis campaign for every core under a
+/// shared noise model — the SOC counterpart of
+/// [`PreparedCampaign::run_robust`]. Each core's per-fault loop is
+/// sharded across `threads` std threads (`0` = one per available CPU)
+/// and is bit-identical to a serial run at any thread count.
+///
+/// # Errors
+///
+/// Returns the first [`CampaignError`] encountered.
+pub fn diagnose_each_core_robust(
+    soc: &Soc,
+    spec: &CampaignSpec,
+    scheme: Scheme,
+    noise: &NoiseModel,
+    policy: &RobustPolicy,
+    threads: usize,
+) -> Result<Vec<RobustCoreRow>, CampaignError> {
+    let num_cores = soc.cores().len();
+    let mut rows = Vec::with_capacity(num_cores);
+    for (index, core) in soc.cores().iter().enumerate() {
+        let _span = scan_obs::span!("core[{}]", core.name());
+        let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
+        let report = crate::parallel::run_robust(&campaign, scheme, noise, policy, threads)?;
+        rows.push(RobustCoreRow {
+            core: core.name().to_owned(),
+            report,
+        });
+        scan_obs::progress::tick("soc_cores", index + 1, num_cores);
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +132,35 @@ mod tests {
         for row in &rows {
             assert_eq!(row.reports.len(), 2);
             assert_eq!(row.reports[0].scheme, Scheme::RandomSelection);
+        }
+    }
+
+    #[test]
+    fn robust_rows_cover_every_core() {
+        use crate::noise::{NoiseConfig, NoiseModel};
+        use crate::robust::RobustPolicy;
+        let cores = vec![
+            CoreModule::new(generate::benchmark("s298")),
+            CoreModule::new(generate::benchmark("s344")),
+        ];
+        let soc = Soc::single_chain("duo", cores).unwrap();
+        let mut spec = CampaignSpec::new(32, 4, 3);
+        spec.num_faults = 12;
+        let mut cfg = NoiseConfig::noiseless(9);
+        cfg.flip_rate = 0.02;
+        let noise = NoiseModel::new(cfg).unwrap();
+        let policy = RobustPolicy::default();
+        let rows =
+            diagnose_each_core_robust(&soc, &spec, Scheme::TWO_STEP_DEFAULT, &noise, &policy, 2)
+                .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].core, "s298");
+        for row in &rows {
+            assert_eq!(row.report.faults, 12);
+            assert_eq!(
+                row.report.exact + row.report.degraded + row.report.inconclusive,
+                row.report.faults
+            );
         }
     }
 

@@ -1,0 +1,96 @@
+//! Pinned-stream regression tests for the noise model.
+//!
+//! The noise harness derives every stochastic draw from
+//! `(seed, fault, attempt, session)` through the workspace's
+//! `SplitMix64` derive chain, so the exact stream values are part of
+//! the reproducibility contract: campaign results, audit traces, and
+//! the checked-in `results/noise_sweep.txt` all replay bit-for-bit
+//! from a seed. These tests pin concrete seeds and verdicts so an
+//! accidental reordering of draws, a changed domain-separation tag, or
+//! a different derive chain fails loudly instead of silently shifting
+//! every published number.
+
+use scan_diagnosis::{NoiseConfig, NoiseModel, SessionOutcome, Verdict};
+
+const PIN_SEED: u64 = 0xDA7E_2003;
+
+fn flip_model(flip_rate: f64) -> NoiseModel {
+    let mut cfg = NoiseConfig::noiseless(PIN_SEED);
+    cfg.flip_rate = flip_rate;
+    NoiseModel::new(cfg).expect("pinned config is valid")
+}
+
+#[test]
+fn session_seeds_are_pinned() {
+    let model = flip_model(0.25);
+    // (fault, attempt, session) -> derived stream seed. Any change to
+    // the derive chain or the verdict domain tag moves these.
+    let pins: [(u64, u64, u64, u64); 5] = [
+        (0, 0, 0, 0x6CC5_4289_5A46_57A5),
+        (1, 0, 0, 0x939A_9346_35E9_EFA1),
+        (0, 1, 0, 0x37F9_F524_B83B_C195),
+        (0, 0, 1, 0xFEC4_D636_256B_088D),
+        (7, 2, 5, 0xE8B3_C6C9_048A_BA92),
+    ];
+    for (fault, attempt, session, expected) in pins {
+        assert_eq!(
+            model.session_seed(fault, attempt, session),
+            expected,
+            "stream seed for (fault {fault}, attempt {attempt}, session {session}) moved"
+        );
+    }
+}
+
+#[test]
+fn observed_verdict_grid_is_pinned() {
+    let model = flip_model(0.25);
+    let truth_grid: Vec<Vec<bool>> = (0..3)
+        .map(|p| (0..4).map(|g| (p + g) % 2 == 0).collect())
+        .collect();
+    let truth = SessionOutcome::from_verdicts(truth_grid);
+    let observed = model.observe(&truth, 3, 0);
+    let expected = ["FPFP", "FPPF", "FPFP"];
+    for (p, row) in expected.iter().enumerate() {
+        let got: String = (0..4)
+            .map(|g| match observed.verdict(p, g) {
+                Verdict::Pass => 'P',
+                Verdict::Fail => 'F',
+                Verdict::Lost => 'L',
+            })
+            .collect();
+        assert_eq!(&got, row, "observed verdicts for partition {p} moved");
+    }
+    // The truth grid itself differs from the observation (partition 1
+    // is PFPF in truth), so the pin proves flips actually happened.
+    assert_eq!(truth.num_groups(1), 4);
+}
+
+#[test]
+fn corrupted_cell_selection_is_pinned() {
+    let mut cfg = NoiseConfig::noiseless(PIN_SEED);
+    cfg.x_corrupt_fraction = 0.25;
+    let model = NoiseModel::new(cfg).expect("pinned config is valid");
+    let cells: Vec<usize> = model.corrupted_cells(16).iter().collect();
+    assert_eq!(cells, vec![2, 5, 11, 12], "X-corruption cell choice moved");
+}
+
+#[test]
+fn streams_are_independent_of_query_order() {
+    let model = flip_model(0.5);
+    // Query the same (fault, attempt, session) coordinates in two very
+    // different orders; verdicts must match coordinate by coordinate.
+    let coords: Vec<(u64, u64, u64)> = (0..4)
+        .flat_map(|f| (0..3).flat_map(move |a| (0..5).map(move |s| (f, a, s))))
+        .collect();
+    let forward: Vec<Verdict> = coords
+        .iter()
+        .map(|&(f, a, s)| model.observe_verdict(true, f, a, s))
+        .collect();
+    let backward: Vec<Verdict> = coords
+        .iter()
+        .rev()
+        .map(|&(f, a, s)| model.observe_verdict(true, f, a, s))
+        .collect();
+    let backward_reversed: Vec<Verdict> = backward.into_iter().rev().collect();
+    assert_eq!(forward, backward_reversed);
+}

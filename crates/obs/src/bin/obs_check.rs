@@ -4,8 +4,9 @@
 //!
 //! * an NDJSON stream (`.ndjson`): every line must parse as a JSON
 //!   object with a known `type` — trace events (`meta`/`span`/
-//!   `counter`/`hist`) and diagnosis audit events (`fault`) are both
-//!   accepted;
+//!   `counter`/`hist`), diagnosis audit events (`fault`), and
+//!   fault-tolerant recovery events (`retry`/`vote`/`fallback`) are
+//!   all accepted;
 //! * a collapsed-stack profile (`.folded`, or any non-JSON text):
 //!   every line must be `frame[;frame…] <count>`;
 //! * a bench baseline (JSON with `suite`/`kernels` members): every
@@ -24,6 +25,7 @@ use scan_obs::json::{parse, Value};
 fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut spans = 0usize;
     let mut faults = 0usize;
+    let mut recoveries = 0usize;
     let mut lines = 0usize;
     for (index, line) in text.lines().enumerate() {
         if line.is_empty() {
@@ -57,6 +59,11 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
                     .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
                 faults += 1;
             }
+            "retry" | "vote" | "fallback" => {
+                check_recovery_event(kind, &value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                recoveries += 1;
+            }
             other => {
                 return Err(format!(
                     "{path}:{}: unknown event type `{other}`",
@@ -69,8 +76,32 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
         return Err(format!("{path}: empty NDJSON stream"));
     }
     eprintln!(
-        "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s) OK"
+        "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s), \
+         {recoveries} recovery event(s) OK"
     );
+    Ok(())
+}
+
+/// A fault-tolerant recovery event from a robust audit stream: a
+/// `retry` round, a per-session `vote` tally, or a weighted-voting
+/// `fallback` (see `docs/ROBUSTNESS.md`).
+fn check_recovery_event(kind: &str, value: &Value) -> Result<(), String> {
+    let numeric: &[&str] = match kind {
+        "retry" => &["fault", "round", "sessions"],
+        "vote" => &["fault", "partition", "group", "fail", "pass", "lost"],
+        _ => &["fault", "partition", "support", "candidates"],
+    };
+    for member in numeric {
+        if value.get(member).and_then(Value::as_f64).is_none() {
+            return Err(format!("{kind} event missing numeric \"{member}\""));
+        }
+    }
+    if kind == "vote" {
+        let verdict = value.get("verdict").and_then(Value::as_str);
+        if !matches!(verdict, Some("pass" | "fail" | "lost")) {
+            return Err("vote event missing verdict pass|fail|lost".to_owned());
+        }
+    }
     Ok(())
 }
 

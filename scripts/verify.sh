@@ -32,6 +32,18 @@ mkdir -p "$SMOKE_DIR"
     "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json" \
     "$SMOKE_DIR/profile.folded" "$SMOKE_DIR/audit.ndjson"
 
+echo "==> noisy-campaign smoke (scanbist noise --audit-out)"
+./target/release/scanbist \
+    --json --audit-out "$SMOKE_DIR/noise_audit.ndjson" \
+    noise s953 --patterns 64 --faults 50 --flip 0.02 --seed 7 \
+    > "$SMOKE_DIR/noise_summary.json" 2>> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check "$SMOKE_DIR/noise_audit.ndjson"
+# The robust engine must keep the smoke campaign diagnosable: every
+# fault Exact or Degraded, none Inconclusive.
+grep -q '"inconclusive":0' "$SMOKE_DIR/noise_summary.json" || {
+    echo "noisy smoke left faults inconclusive:"; cat "$SMOKE_DIR/noise_summary.json"; exit 1;
+}
+
 echo "==> quick bench smoke (scanbist bench --quick)"
 ./target/release/scanbist \
     bench --quick --out "$SMOKE_DIR/BENCH_quick.json" \

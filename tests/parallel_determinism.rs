@@ -118,6 +118,40 @@ fn parallel_soc_localization_is_bit_identical() {
 }
 
 #[test]
+fn parallel_robust_campaign_is_bit_identical_under_noise() {
+    use scan_bist_suite::diagnosis::{NoiseConfig, NoiseModel, RobustPolicy};
+    let campaign = circuit_campaign();
+    let mut cfg = NoiseConfig::noiseless(17);
+    cfg.flip_rate = 0.03;
+    cfg.dropout_rate = 0.01;
+    cfg.intermittent_rate = 0.1;
+    cfg.intermittent_miss = 0.4;
+    cfg.x_corrupt_fraction = 0.02;
+    let noise = NoiseModel::new(cfg).expect("valid noise config");
+    let policy = RobustPolicy::default();
+    let serial = campaign
+        .run_robust(Scheme::TWO_STEP_DEFAULT, &noise, &policy)
+        .expect("serial robust run");
+    assert!(serial.exact < serial.faults, "noise must perturb something");
+    for threads in THREAD_COUNTS {
+        let par = campaign
+            .run_robust_parallel(Scheme::TWO_STEP_DEFAULT, &noise, &policy, threads)
+            .expect("parallel robust run");
+        assert_eq!(par.exact, serial.exact, "exact differs at {threads} threads");
+        assert_eq!(par.degraded, serial.degraded);
+        assert_eq!(par.inconclusive, serial.inconclusive);
+        assert_eq!(par.dr, serial.dr);
+        assert_eq!(par.mean_candidates, serial.mean_candidates);
+        assert_eq!(par.retry_rounds, serial.retry_rounds);
+        assert_eq!(par.retried_sessions, serial.retried_sessions);
+        assert_eq!(par.fallbacks, serial.fallbacks);
+        assert_eq!(par.strict_failures, serial.strict_failures);
+        assert_eq!(par.recovered, serial.recovered);
+        assert_eq!(par.hits, serial.hits);
+    }
+}
+
+#[test]
 fn auto_thread_count_is_deterministic_too() {
     let campaign = circuit_campaign();
     let serial = campaign.run(Scheme::IntervalBased).expect("serial run");
