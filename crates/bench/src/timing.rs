@@ -108,6 +108,7 @@ impl Bench {
     #[must_use]
     pub fn new(group: &str, samples: usize) -> Self {
         assert!(samples > 0, "need at least one sample");
+        // lint:allow(L006): the measurement table is the stdout payload of the bench targets this harness backs
         println!("## {group} ({samples} samples)");
         Bench {
             group: group.to_owned(),
@@ -143,6 +144,7 @@ impl Bench {
             name: format!("{}/{name}", self.group),
             samples,
         };
+        // lint:allow(L006): per-case result line of the bench table payload
         println!(
             "{:<44} min {:>10}   median {:>10}   mean {:>10}",
             m.name,

@@ -101,6 +101,39 @@ fn help_exits_zero_with_clean_stdout() {
     }
 }
 
+/// `scan-lint` lives in another package, so cargo sets no
+/// `CARGO_BIN_EXE_` var for it here — locate it as a sibling of this
+/// package's binaries instead. `None` (not built yet) skips the test
+/// so `cargo test -p scan-bench` alone still passes.
+fn scan_lint_exe() -> Option<std::path::PathBuf> {
+    let sibling = std::path::Path::new(env!("CARGO_BIN_EXE_table1")).with_file_name("scan-lint");
+    sibling.exists().then_some(sibling)
+}
+
+#[test]
+fn scan_lint_follows_the_same_help_contract() {
+    let Some(exe) = scan_lint_exe() else {
+        eprintln!("scan-lint not built alongside scan-bench; skipping");
+        return;
+    };
+    let output = Command::new(&exe).arg("--help").output().expect("spawn");
+    assert!(output.status.success(), "scan-lint --help failed");
+    assert!(
+        output.stdout.is_empty(),
+        "scan-lint --help wrote to stdout (payload channel)"
+    );
+    let stderr = String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8");
+    assert!(
+        stderr.starts_with("usage: scan-lint"),
+        "scan-lint --help stderr does not lead with its usage line: {stderr:?}"
+    );
+
+    let short = Command::new(&exe).arg("-h").output().expect("spawn");
+    assert!(short.status.success());
+    assert_eq!(output.stderr, short.stderr);
+    assert!(short.stdout.is_empty());
+}
+
 #[test]
 fn short_help_matches_long_help() {
     // One representative is enough — the flag handling is shared code.

@@ -128,6 +128,18 @@ pub enum Command {
         /// Path to the NDJSON audit trace.
         path: String,
     },
+    /// `scanbist lint [options]` — run the vendored static-analysis
+    /// pass over the workspace sources (see `docs/LINTS.md`).
+    Lint {
+        /// Workspace root to lint (`.` by default).
+        root: String,
+        /// Explicit `lint.toml` path (`<root>/lint.toml` by default).
+        config: Option<String>,
+        /// Where to write the findings as NDJSON.
+        out: Option<String>,
+        /// Exit nonzero if any unsuppressed finding remains.
+        deny: bool,
+    },
     /// `scanbist help` / `--help`.
     Help,
 }
@@ -169,7 +181,7 @@ where
 #[derive(Clone, PartialEq, Debug)]
 pub struct Invocation {
     /// Emit one JSON object instead of human-readable text (supported
-    /// by `coverage`, `atpg`, `diagnose`, and `soc`).
+    /// by `coverage`, `atpg`, `diagnose`, `noise`, and `soc`).
     pub json: bool,
     /// Observability settings from the global `--trace` /
     /// `--trace-out` / `--metrics-out` / `--profile` /
@@ -361,6 +373,7 @@ where
         }
         "noise" => parse_noise(words),
         "bench" => parse_bench(words),
+        "lint" => parse_lint(words),
         "explain" => {
             let path = take_value("explain", &mut words)?.to_owned();
             ensure_done(words)?;
@@ -478,6 +491,31 @@ where
     })
 }
 
+fn parse_lint<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut root = ".".to_owned();
+    let mut config = None;
+    let mut out = None;
+    let mut deny = false;
+    while let Some(flag) = words.next() {
+        match flag {
+            "--root" => take_value(flag, &mut words)?.clone_into(&mut root),
+            "--config" => config = Some(take_value(flag, &mut words)?.to_owned()),
+            "--out" => out = Some(take_value(flag, &mut words)?.to_owned()),
+            "--deny" => deny = true,
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    Ok(Command::Lint {
+        root,
+        config,
+        out,
+        deny,
+    })
+}
+
 fn ensure_done<'a, I: Iterator<Item = &'a str>>(mut words: I) -> Result<(), ParseArgsError> {
     match words.next() {
         None => Ok(()),
@@ -536,6 +574,10 @@ COMMANDS:
                     [--out FILE] [--baseline FILE] [--threshold FRAC]
                     [--compare FILE]   (file-vs-file baseline check)
   scanbist explain <audit.ndjson>     (summarize an audit trace)
+  scanbist lint [--root DIR] [--config FILE] [--out FILE] [--deny]
+                    (vendored static-analysis pass; --deny exits
+                    nonzero on unsuppressed findings, --out writes
+                    them as NDJSON — see docs/LINTS.md)
 
 <circuit> is an ISCAS-89 benchmark name (synthetic stand-in; `s27`
 is the embedded real netlist) or a path to a `.bench` file.
@@ -792,6 +834,37 @@ mod tests {
         );
         assert!(parse_args(["explain"]).is_err());
         assert!(parse_args(["explain", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn parses_lint_command() {
+        let cmd = parse_args(["lint"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                root: ".".into(),
+                config: None,
+                out: None,
+                deny: false,
+            }
+        );
+
+        let cmd = parse_args([
+            "lint", "--root", "..", "--config", "lint.toml", "--out", "l.ndjson", "--deny",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                root: "..".into(),
+                config: Some("lint.toml".into()),
+                out: Some("l.ndjson".into()),
+                deny: true,
+            }
+        );
+
+        assert!(parse_args(["lint", "--root"]).is_err());
+        assert!(parse_args(["lint", "--bogus"]).is_err());
     }
 
     #[test]

@@ -446,7 +446,46 @@ fn execute<W: Write>(
             write!(out, "{summary}").map_err(io_err)?;
             Ok(())
         }
+        Command::Lint {
+            root,
+            config,
+            out: report_out,
+            deny,
+        } => run_lint(root, config.as_deref(), report_out.as_deref(), *deny),
     }
+}
+
+/// Runs the vendored static-analysis pass (same engine as the
+/// standalone `scan-lint` binary). The findings table goes to stderr —
+/// stdout stays reserved for machine payloads — and `--deny` turns
+/// unsuppressed findings into an error exit.
+fn run_lint(
+    root: &str,
+    config_path: Option<&str>,
+    report_out: Option<&str>,
+    deny: bool,
+) -> Result<(), String> {
+    let root = std::path::Path::new(root);
+    let config = match config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            scan_lint::Config::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => scan_lint::load_config(root)?,
+    };
+    let report = scan_lint::lint_workspace(root, &config)
+        .map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    if let Some(path) = report_out {
+        scan_obs::export::write_file(std::path::Path::new(path), &report.render_ndjson())
+            .map_err(|e| e.to_string())?;
+    }
+    eprint!("{}", report.render_table());
+    let denied = report.deny_count();
+    if deny && denied > 0 {
+        return Err(format!("lint: {denied} unsuppressed finding(s)"));
+    }
+    Ok(())
 }
 
 /// Replays the campaign's per-fault audit trail and writes it as

@@ -224,7 +224,7 @@ mod tests {
         // Pick a partition-1 group containing none of g0's cells, if
         // one exists; the random partitions at 8 groups on 64 cells
         // make this overwhelmingly likely.
-        let p1_groups: std::collections::HashSet<usize> = g0
+        let p1_groups: std::collections::BTreeSet<usize> = g0
             .iter()
             .map(|&c| usize::from(plan.partitions()[1].group_of(c)))
             .collect();

@@ -9,8 +9,14 @@
 //! pass/fail bits) across all partitions and groups — so dictionary
 //! resolution is another lens on how much diagnostic information a
 //! partitioning scheme extracts.
+//!
+//! Syndrome maps are `BTreeMap`s, not `HashMap`s: the expected-suspect
+//! statistics sum `f64` class weights in iteration order, and hash
+//! iteration order varies per map instance — a determinism hazard
+//! (lint `L004`) that would let the reported resolution drift between
+//! otherwise identical runs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use scan_sim::{Fault, FaultSimulator};
 
@@ -21,9 +27,9 @@ use crate::session::{DiagnosisPlan, SessionOutcome};
 #[derive(Clone, Debug)]
 pub struct FaultDictionary {
     /// Exact-signature syndrome → faults.
-    exact: HashMap<Vec<u64>, Vec<Fault>>,
+    exact: BTreeMap<Vec<u64>, Vec<Fault>>,
     /// Pass/fail-only syndrome → faults.
-    passfail: HashMap<Vec<u64>, Vec<Fault>>,
+    passfail: BTreeMap<Vec<u64>, Vec<Fault>>,
     total: usize,
 }
 
@@ -32,8 +38,8 @@ impl FaultDictionary {
     /// the exact-signature and the pass/fail syndromes.
     #[must_use]
     pub fn build(plan: &DiagnosisPlan, fsim: &FaultSimulator<'_>, faults: &[Fault]) -> Self {
-        let mut exact: HashMap<Vec<u64>, Vec<Fault>> = HashMap::new();
-        let mut passfail: HashMap<Vec<u64>, Vec<Fault>> = HashMap::new();
+        let mut exact: BTreeMap<Vec<u64>, Vec<Fault>> = BTreeMap::new();
+        let mut passfail: BTreeMap<Vec<u64>, Vec<Fault>> = BTreeMap::new();
         for &fault in faults {
             let outcome = plan.analyze(fsim.error_map(&fault).iter_bits());
             exact
@@ -125,7 +131,7 @@ impl FaultDictionary {
         Self::expected(&self.passfail, self.total)
     }
 
-    fn expected(map: &HashMap<Vec<u64>, Vec<Fault>>, total: usize) -> f64 {
+    fn expected(map: &BTreeMap<Vec<u64>, Vec<Fault>>, total: usize) -> f64 {
         if total == 0 {
             return 0.0;
         }
@@ -193,6 +199,41 @@ mod tests {
         let dict = FaultDictionary::build(&plan, &fsim, &faults);
         assert!(dict.num_exact_classes() >= dict.num_passfail_classes());
         assert!(dict.expected_exact_suspects() <= dict.expected_passfail_suspects() + 1e-9);
+        let _ = n;
+    }
+
+    /// Pins the determinism contract behind the `BTreeMap` switch
+    /// (lint `L004`): the expected-suspect statistics are `f64` sums
+    /// taken in syndrome iteration order, so they must be bit-identical
+    /// however the dictionary was populated. With `HashMap` syndrome
+    /// storage each map instance iterates in its own order and this
+    /// test's exact-equality assertions would flake.
+    #[test]
+    fn suspect_statistics_independent_of_insertion_order() {
+        let (n, view, patterns) = setup();
+        let fsim = FaultSimulator::new(&n, &view, &patterns).unwrap();
+        let faults = fsim.sample_detected_faults(30, 5);
+        let mut reversed = faults.clone();
+        reversed.reverse();
+        let plan = DiagnosisPlan::new(
+            ChainLayout::single_chain(view.len()),
+            64,
+            &BistConfig::new(2, 3, Scheme::TWO_STEP_DEFAULT),
+        )
+        .unwrap();
+        let forward = FaultDictionary::build(&plan, &fsim, &faults);
+        let backward = FaultDictionary::build(&plan, &fsim, &reversed);
+        assert_eq!(forward.num_exact_classes(), backward.num_exact_classes());
+        assert_eq!(
+            forward.expected_exact_suspects().to_bits(),
+            backward.expected_exact_suspects().to_bits(),
+            "exact-suspect expectation must not depend on insertion order"
+        );
+        assert_eq!(
+            forward.expected_passfail_suspects().to_bits(),
+            backward.expected_passfail_suspects().to_bits(),
+            "pass/fail-suspect expectation must not depend on insertion order"
+        );
         let _ = n;
     }
 

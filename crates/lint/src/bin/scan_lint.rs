@@ -1,0 +1,109 @@
+//! `scan-lint` — workspace static-analysis gate.
+//!
+//! Follows the workspace binary contract (`crates/bench/tests/
+//! bin_stdout.rs`): stdout is reserved for machine payloads and stays
+//! empty — the human findings table goes to stderr, the NDJSON report
+//! to `--out` (validated by `obs-check`). `--deny` turns any
+//! unsuppressed finding into a nonzero exit, which is how
+//! `scripts/verify.sh` gates the build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: scan-lint [--root DIR] [--config FILE] [--out FILE] [--deny]
+
+Static-analysis pass over every .rs file and Cargo.toml in the
+workspace: determinism, unsafe-audit, and contract lints L001-L008
+(catalogue in docs/LINTS.md).
+
+  --root DIR     workspace root to lint (default: current directory)
+  --config FILE  lint.toml to honour (default: <root>/lint.toml)
+  --out FILE     write the NDJSON findings report here
+  --deny         exit nonzero when any unsuppressed finding remains
+  -h, --help     print this usage text to stderr and exit
+
+The findings table is written to stderr; stdout stays empty.
+Suppressions: [allow.L00x] path prefixes in lint.toml, or inline
+`// lint:allow(L00x): reason` comments — a reason is mandatory.
+";
+
+struct Options {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    out: Option<PathBuf>,
+    deny: bool,
+}
+
+fn parse_options() -> Result<Option<Options>, String> {
+    let mut options = Options {
+        root: PathBuf::from("."),
+        config: None,
+        out: None,
+        deny: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--deny" => options.deny = true,
+            "--root" => {
+                options.root = args.next().ok_or("--root needs a value")?.into();
+            }
+            "--config" => {
+                options.config = Some(args.next().ok_or("--config needs a value")?.into());
+            }
+            "--out" => {
+                options.out = Some(args.next().ok_or("--out needs a value")?.into());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Some(options))
+}
+
+fn run(options: &Options) -> Result<ExitCode, String> {
+    let config = match &options.config {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            scan_lint::Config::parse(&text).map_err(|e| e.to_string())?
+        }
+        None => scan_lint::load_config(&options.root)?,
+    };
+    let report = scan_lint::lint_workspace(&options.root, &config)
+        .map_err(|e| format!("cannot walk {}: {e}", options.root.display()))?;
+    if let Some(out) = &options.out {
+        if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(out, report.render_ndjson())
+            .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+    eprint!("{}", report.render_table());
+    let denied = report.deny_count();
+    if options.deny && denied > 0 {
+        eprintln!("scan-lint: --deny: failing on {denied} unsuppressed finding(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match parse_options() {
+        Ok(None) => {
+            eprint!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(options)) => run(&options).unwrap_or_else(|message| {
+            eprintln!("scan-lint: error: {message}");
+            ExitCode::from(2)
+        }),
+        Err(message) => {
+            eprintln!("scan-lint: error: {message}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

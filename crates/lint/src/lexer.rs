@@ -1,0 +1,436 @@
+//! A small line/column-tracking Rust tokenizer.
+//!
+//! The rule engine needs just enough lexical structure to tell an
+//! identifier in code from the same word inside a string literal or a
+//! comment: `println!` in a doc example must not trip the
+//! stdout-cleanliness lint, and a raw string containing `unsafe` is not
+//! an unsafe block. The lexer therefore handles the full Rust literal
+//! syntax — escaped strings, raw strings with arbitrary `#` fences,
+//! byte/C-string prefixes, char literals vs. lifetimes, and *nested*
+//! block comments — while treating everything else as single-character
+//! punctuation. No external parser, no syn: tokens carry their text and
+//! a 1-based line/column span and that is all the rules need.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `println`, …).
+    Ident,
+    /// String, raw string, byte string, char, or numeric literal.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any single punctuation character (`!`, `:`, `#`, `[`, …).
+    Punct,
+    /// Line comment (`// …`) or block comment (`/* … */`, nested ok),
+    /// including doc comments. Text includes the delimiters.
+    Comment,
+}
+
+/// One lexed token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification used by the rules.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for punctuation tokens whose text is exactly `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+
+    /// True for identifier tokens whose text is exactly `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        // `Peekable` only looks one ahead; clone the underlying iterator
+        // for the second character (cheap: it is a `Chars`).
+        let mut ahead = self.chars.clone();
+        ahead.next();
+        ahead.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`, never failing: unterminated literals simply run
+/// to end of input. Comments are kept as [`TokenKind::Comment`] tokens
+/// so rules can inspect `// SAFETY:` and `// lint:allow(...)` text.
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while let Some(c) = cursor.peek() {
+        let (line, col) = (cursor.line, cursor.col);
+        if c.is_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        let token = if c == '/' && cursor.peek2() == Some('/') {
+            lex_line_comment(&mut cursor)
+        } else if c == '/' && cursor.peek2() == Some('*') {
+            lex_block_comment(&mut cursor)
+        } else if c == '"' {
+            lex_string(&mut cursor)
+        } else if c == '\'' {
+            lex_char_or_lifetime(&mut cursor)
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed_literal(&mut cursor)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cursor)
+        } else {
+            let mut text = String::new();
+            text.push(cursor.bump().expect("peeked"));
+            (TokenKind::Punct, text)
+        };
+        tokens.push(Token {
+            kind: token.0,
+            text: token.1,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+fn lex_line_comment(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cursor.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(cursor.bump().expect("peeked"));
+    }
+    (TokenKind::Comment, text)
+}
+
+fn lex_block_comment(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    // Consume `/*`.
+    text.push(cursor.bump().expect("peeked"));
+    text.push(cursor.bump().expect("peeked"));
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cursor.peek() {
+            Some('/') if cursor.peek2() == Some('*') => {
+                text.push(cursor.bump().expect("peeked"));
+                text.push(cursor.bump().expect("peeked"));
+                depth += 1;
+            }
+            Some('*') if cursor.peek2() == Some('/') => {
+                text.push(cursor.bump().expect("peeked"));
+                text.push(cursor.bump().expect("peeked"));
+                depth -= 1;
+            }
+            Some(_) => text.push(cursor.bump().expect("peeked")),
+            None => break, // unterminated: tolerate
+        }
+    }
+    (TokenKind::Comment, text)
+}
+
+/// Lexes a `"…"` string with backslash escapes; the opening quote is at
+/// the cursor.
+fn lex_string(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cursor.bump().expect("peeked")); // opening quote
+    while let Some(c) = cursor.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cursor.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    (TokenKind::Literal, text)
+}
+
+/// Lexes `r"…"` / `r#"…"#` / `br##"…"##` bodies. The cursor sits on the
+/// first `#` or `"` after the prefix letters (already consumed into
+/// `text`).
+fn lex_raw_string(cursor: &mut Cursor<'_>, text: &mut String) {
+    let mut fence = 0usize;
+    while cursor.peek() == Some('#') {
+        text.push(cursor.bump().expect("peeked"));
+        fence += 1;
+    }
+    if cursor.peek() != Some('"') {
+        return; // `r#ident` raw identifier, not a string — keep as-is
+    }
+    text.push(cursor.bump().expect("peeked"));
+    loop {
+        match cursor.bump() {
+            None => return, // unterminated
+            Some('"') => {
+                text.push('"');
+                let mut closing = 0usize;
+                while closing < fence && cursor.peek() == Some('#') {
+                    text.push(cursor.bump().expect("peeked"));
+                    closing += 1;
+                }
+                if closing == fence {
+                    return;
+                }
+            }
+            Some(other) => text.push(other),
+        }
+    }
+}
+
+/// Distinguishes `'a'` / `'\n'` / `'\u{1F600}'` char literals from
+/// lifetimes like `'static`: after the quote, an identifier character
+/// followed by anything other than a closing quote is a lifetime.
+fn lex_char_or_lifetime(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    text.push(cursor.bump().expect("peeked")); // opening '
+    match cursor.peek() {
+        Some('\\') => {
+            // Escaped char literal.
+            text.push(cursor.bump().expect("peeked"));
+            if let Some(escaped) = cursor.bump() {
+                text.push(escaped);
+            }
+            // Consume through the closing quote (covers \u{…}).
+            while let Some(c) = cursor.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            (TokenKind::Literal, text)
+        }
+        Some(c) if is_ident_continue(c) && cursor.peek2() != Some('\'') => {
+            // Lifetime: consume the identifier.
+            while let Some(c) = cursor.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(cursor.bump().expect("peeked"));
+            }
+            (TokenKind::Lifetime, text)
+        }
+        Some(_) => {
+            // Plain char literal `'x'`.
+            text.push(cursor.bump().expect("peeked"));
+            if cursor.peek() == Some('\'') {
+                text.push(cursor.bump().expect("peeked"));
+            }
+            (TokenKind::Literal, text)
+        }
+        None => (TokenKind::Punct, text),
+    }
+}
+
+fn lex_ident_or_prefixed_literal(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cursor.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(cursor.bump().expect("peeked"));
+    }
+    // Literal prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…", b'…'.
+    let next = cursor.peek();
+    let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "cr" | "b" | "c");
+    if is_raw_prefix && (next == Some('"') || next == Some('#')) {
+        if text.ends_with('r') {
+            lex_raw_string(cursor, &mut text);
+            // `r#ident` raw identifier: lex_raw_string backed off.
+            if cursor.peek().is_some_and(is_ident_start) {
+                while let Some(c) = cursor.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cursor.bump().expect("peeked"));
+                }
+                return (TokenKind::Ident, text);
+            }
+        } else if next == Some('"') {
+            let (_, rest) = lex_string(cursor);
+            text.push_str(&rest);
+        }
+        return (TokenKind::Literal, text);
+    }
+    if text == "b" && next == Some('\'') {
+        let (_, rest) = lex_char_or_lifetime(cursor);
+        text.push_str(&rest);
+        return (TokenKind::Literal, text);
+    }
+    (TokenKind::Ident, text)
+}
+
+fn lex_number(cursor: &mut Cursor<'_>) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cursor.peek() {
+        // Loose: digits, type suffixes, underscores, hex letters, and a
+        // decimal point all glue into one literal token. Precision here
+        // does not matter to any rule.
+        if is_ident_continue(c) || c == '.' {
+            // Take care not to swallow `..` range punctuation.
+            if c == '.' && cursor.peek2() == Some('.') {
+                break;
+            }
+            text.push(cursor.bump().expect("peeked"));
+        } else {
+            break;
+        }
+    }
+    (TokenKind::Literal, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        tokenize(source)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_containing_unsafe_is_a_literal() {
+        let tokens = tokenize(r####"let s = r#"unsafe { println!("hi") }"#;"####);
+        assert!(tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(tokens.iter().all(|t| !t.is_ident("println")));
+        let lit = tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("raw string literal");
+        assert!(lit.text.contains("unsafe"));
+    }
+
+    #[test]
+    fn raw_string_fences_respected() {
+        let source = "r##\"inner \"# quote\"## HashMap";
+        assert_eq!(idents(source), vec!["HashMap"]);
+    }
+
+    #[test]
+    fn println_inside_comment_is_a_comment() {
+        let tokens = tokenize("// println!(\"x\")\nfoo();");
+        assert_eq!(tokens[0].kind, TokenKind::Comment);
+        assert!(tokens.iter().all(|t| !t.is_ident("println")));
+        assert!(tokens.iter().any(|t| t.is_ident("foo")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let source = "/* outer /* inner */ still comment */ unsafe";
+        let tokens = tokenize(source);
+        assert_eq!(tokens[0].kind, TokenKind::Comment);
+        assert!(tokens[0].text.contains("inner"));
+        assert!(tokens[1].is_ident("unsafe"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_tolerated() {
+        let tokens = tokenize("/* runs to EOF unsafe");
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].kind, TokenKind::Comment);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let tokens = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 2, "{chars:?}");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let tokens = tokenize(r#"let s = "he said \"unsafe\""; done"#);
+        assert!(tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(tokens.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let tokens = tokenize("ab cd\n  ef");
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (1, 4));
+        assert_eq!((tokens[2].line, tokens[2].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        let tokens = tokenize(r#"b"unsafe" c"rand" br#x"#);
+        assert!(tokens.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(tokens.iter().all(|t| !t.is_ident("rand")));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        let tokens = tokenize("let r#type = 1;");
+        assert!(tokens.iter().any(|t| t.is_ident("r#type")));
+    }
+
+    #[test]
+    fn attributes_lex_as_puncts_and_idents() {
+        let tokens = tokenize("#[non_exhaustive]\npub enum E {}");
+        assert!(tokens[0].is_punct('#'));
+        assert!(tokens[1].is_punct('['));
+        assert!(tokens[2].is_ident("non_exhaustive"));
+        assert!(tokens[3].is_punct(']'));
+    }
+}

@@ -1,0 +1,120 @@
+//! `scan-lint` — vendored zero-dependency static analysis for the
+//! scan-BIST workspace.
+//!
+//! The workspace's load-bearing invariants — bit-identical serial vs
+//! parallel diagnosis, the offline zero-dependency build, every random
+//! draw flowing through pinned `scan-rng` streams, stdout reserved for
+//! machine-readable payloads — were enforced only by convention.
+//! This crate makes them machine-checked: a small line/column-tracking
+//! Rust lexer (no external parser) feeds a rule engine that walks
+//! every `.rs` file and every `Cargo.toml` in the workspace and
+//! reports violations with an id, severity, span, and fix-hint.
+//!
+//! The rule set (see `docs/LINTS.md` for the full catalogue):
+//!
+//! | id | name | contract |
+//! |---|---|---|
+//! | L001 | `no-external-deps` | every dependency is a workspace path dep |
+//! | L002 | `no-ambient-rng` | no `thread_rng`/`rand::`/`from_entropy` |
+//! | L003 | `no-wall-clock-in-core` | clocks only in `crates/bench`+`crates/obs` |
+//! | L004 | `no-unordered-iteration` | no `HashMap`/`HashSet` in deterministic crates |
+//! | L005 | `unsafe-needs-safety-comment` | every `unsafe` carries `// SAFETY:` |
+//! | L006 | `stdout-cleanliness` | stdout only in `crates/cli` + experiment bins |
+//! | L007 | `nonexhaustive-public-errors` | pub error enums are `#[non_exhaustive]` |
+//! | L008 | `no-silent-empty-intersection` | call `diagnose_checked`, not `diagnose` |
+//!
+//! Suppression is always explicit and always justified: a per-rule
+//! path allowance in the checked-in `lint.toml` (with a mandatory
+//! `reason`), or an inline `// lint:allow(L00x): reason` on (or one
+//! line above) the offending line. A directive without a reason is
+//! itself a finding.
+//!
+//! `scan-lint --deny` runs as a gating step in `scripts/verify.sh`;
+//! the same engine backs the `scanbist lint` subcommand.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use config::{Config, ConfigError};
+pub use findings::{Finding, LintReport, Severity};
+
+/// Lints the workspace rooted at `root` under `config`.
+///
+/// Findings suppressed by `lint.toml` allow-paths or inline
+/// `// lint:allow` directives are returned with their
+/// [`Finding::suppressed`] reason set; everything else counts toward
+/// [`LintReport::deny_count`].
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be walked or a file cannot
+/// be read.
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<LintReport> {
+    let (rust_files, manifests) = walk::collect(root, config)?;
+    let mut report = LintReport {
+        rust_files: rust_files.len(),
+        manifests: manifests.len(),
+        ..LintReport::default()
+    };
+    for file in &manifests {
+        let text = std::fs::read_to_string(&file.path)?;
+        let mut found = rules::check_manifest(&file.rel, &text);
+        apply_config_allows(config, &mut found);
+        report.findings.append(&mut found);
+    }
+    for file in &rust_files {
+        let text = std::fs::read_to_string(&file.path)?;
+        let tokens = lexer::tokenize(&text);
+        let (allows, mut malformed) = rules::inline_allows(&file.rel, &tokens);
+        let (mut found, unsafe_lines) = rules::check_rust(&file.rel, &tokens);
+        for line in unsafe_lines {
+            report.unsafe_sites.push((file.rel.clone(), line));
+        }
+        for finding in &mut found {
+            if let Some(reason) = config.allow_reason(finding.rule, &finding.file) {
+                finding.suppressed = Some(format!("lint.toml: {reason}"));
+                continue;
+            }
+            if let Some(allow) = allows.iter().find(|a| {
+                a.rule == finding.rule
+                    && (finding.line == a.line || finding.line == a.line + 1)
+            }) {
+                finding.suppressed = Some(allow.reason.clone());
+            }
+        }
+        report.findings.append(&mut found);
+        report.findings.append(&mut malformed);
+    }
+    Ok(report)
+}
+
+/// Applies `lint.toml` allow-paths to manifest findings (inline
+/// allows do not exist in TOML files).
+fn apply_config_allows(config: &Config, findings: &mut [Finding]) {
+    for finding in findings {
+        if let Some(reason) = config.allow_reason(finding.rule, &finding.file) {
+            finding.suppressed = Some(format!("lint.toml: {reason}"));
+        }
+    }
+}
+
+/// Loads `lint.toml` from `root` if present, or an empty config.
+///
+/// # Errors
+///
+/// Returns the rendered [`ConfigError`] when the file exists but does
+/// not parse — a broken suppression file must fail loudly, not lint
+/// with defaults.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

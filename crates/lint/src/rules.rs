@@ -1,0 +1,616 @@
+//! The rule set: eight workspace-contract lints over the token stream
+//! (Rust sources) and a line-oriented manifest check (`Cargo.toml`).
+//!
+//! Each rule has an id, short name, severity, and fix-hint; findings
+//! carry the 1-based line/column of the offending token. Rules are
+//! scoped by path where the contract itself is path-scoped (wall-clock
+//! is the bench/obs crates' business; stdout belongs to the CLI and
+//! the experiment bins; `HashMap` is only a determinism hazard in the
+//! crates whose outputs must be bit-identical).
+//!
+//! Suppression happens at a higher level (config allow-paths and
+//! inline `// lint:allow`); rules here report everything they see.
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::{Token, TokenKind};
+
+/// The deterministic crates whose iteration order is contractual
+/// (serial vs parallel bit-identity, pinned RNG streams).
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/sim/",
+    "crates/bist/",
+    "crates/soc/",
+];
+
+/// Crates allowed to read wall clocks: the timing harness and the
+/// observability layer (monotonic span timing).
+const WALL_CLOCK_CRATES: &[&str] = &["crates/bench/", "crates/obs/"];
+
+/// Paths allowed to print to stdout: the CLI front end (stdout is its
+/// payload channel) and the experiment bins (same contract, enforced
+/// end-to-end by `crates/bench/tests/bin_stdout.rs`).
+const STDOUT_PATHS: &[&str] = &["crates/cli/", "crates/bench/src/bin/"];
+
+/// The crate that defines `diagnose_checked`; direct `diagnose()`
+/// calls are its internal business only.
+const DIAGNOSE_CRATE: &str = "crates/core/";
+
+fn under(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+fn finding(
+    rule: &'static str,
+    name: &'static str,
+    file: &str,
+    token_line: u32,
+    token_col: u32,
+    message: String,
+    hint: &'static str,
+) -> Finding {
+    Finding {
+        rule,
+        name,
+        severity: Severity::Deny,
+        file: file.to_owned(),
+        line: token_line,
+        col: token_col,
+        message,
+        hint,
+        suppressed: None,
+    }
+}
+
+/// An inline `// lint:allow(L00x): reason` directive found in a
+/// comment. It suppresses findings of that rule on its own line and
+/// the line directly below (so it can sit above the offending line or
+/// trail it).
+#[derive(Clone, Debug)]
+pub struct InlineAllow {
+    /// Rule id the directive targets.
+    pub rule: String,
+    /// Written justification (required; an empty reason is itself
+    /// reported as a finding).
+    pub reason: String,
+    /// Line the directive appears on.
+    pub line: u32,
+}
+
+/// Extracts inline allow directives from comment tokens. Directives
+/// missing a reason are returned as findings instead of allows.
+#[must_use]
+pub fn inline_allows(file: &str, tokens: &[Token]) -> (Vec<InlineAllow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for token in tokens {
+        if token.kind != TokenKind::Comment {
+            continue;
+        }
+        let mut rest = token.text.as_str();
+        while let Some(start) = rest.find("lint:allow(") {
+            rest = &rest[start + "lint:allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim().to_owned();
+            let after = &rest[close + 1..];
+            // The reason is whatever follows the closing paren, minus
+            // leading separator punctuation.
+            let reason = after
+                .trim_start_matches([':', ',', '-', '—', ' '])
+                .trim()
+                .to_owned();
+            rest = after;
+            if reason.is_empty() {
+                malformed.push(finding(
+                    "L000",
+                    "malformed-suppression",
+                    file,
+                    token.line,
+                    token.col,
+                    format!(
+                        "inline `lint:allow({rule})` has no reason — write \
+                         `// lint:allow({rule}): why this is sound`"
+                    ),
+                    "every suppression must carry a written justification",
+                ));
+            } else {
+                allows.push(InlineAllow {
+                    rule,
+                    reason,
+                    line: token.line,
+                });
+            }
+        }
+    }
+    (allows, malformed)
+}
+
+/// Runs all token-level rules (L002–L008) over one Rust file,
+/// returning raw findings plus the file's `unsafe` inventory.
+#[must_use]
+pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
+    let mut findings = Vec::new();
+    let mut unsafe_lines = Vec::new();
+    // Significant (non-comment) tokens drive the pattern rules;
+    // comments are consulted for SAFETY annotations.
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let comments: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Comment)
+        .collect();
+
+    for (i, token) in sig.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        match token.text.as_str() {
+            // L002 — ambient randomness.
+            "thread_rng" | "from_entropy" => findings.push(finding(
+                "L002",
+                "no-ambient-rng",
+                file,
+                token.line,
+                token.col,
+                format!("`{}` draws ambient randomness", token.text),
+                "derive a keyed stream from the vendored scan-rng crate instead",
+            )),
+            "rand" if path_sep_follows(&sig, i) => findings.push(finding(
+                "L002",
+                "no-ambient-rng",
+                file,
+                token.line,
+                token.col,
+                "`rand::` path — the external rand crate is banned".to_owned(),
+                "derive a keyed stream from the vendored scan-rng crate instead",
+            )),
+            // L003 — wall clocks outside bench/obs.
+            "Instant" | "SystemTime"
+                if !under(file, WALL_CLOCK_CRATES)
+                    && path_sep_follows(&sig, i)
+                    && sig.get(i + 3).is_some_and(|t| t.is_ident("now")) =>
+            {
+                findings.push(finding(
+                    "L003",
+                    "no-wall-clock-in-core",
+                    file,
+                    token.line,
+                    token.col,
+                    format!("`{}::now` read outside crates/bench and crates/obs", token.text),
+                    "route timing through scan_bench::timing or scan-obs spans",
+                ));
+            }
+            // L004 — unordered iteration hazard in deterministic crates.
+            "HashMap" | "HashSet" if under(file, DETERMINISTIC_CRATES) => {
+                findings.push(finding(
+                    "L004",
+                    "no-unordered-iteration",
+                    file,
+                    token.line,
+                    token.col,
+                    format!(
+                        "`{}` in a deterministic crate — iteration order is unspecified",
+                        token.text
+                    ),
+                    "use BTreeMap/BTreeSet, or sort before iterating and suppress \
+                     with a reason if the map is never iterated",
+                ));
+            }
+            // L005 — unsafe needs a SAFETY comment.
+            "unsafe" => {
+                unsafe_lines.push(token.line);
+                if !has_safety_comment(&comments, token.line) {
+                    findings.push(finding(
+                        "L005",
+                        "unsafe-needs-safety-comment",
+                        file,
+                        token.line,
+                        token.col,
+                        "`unsafe` without a `// SAFETY:` comment in the 3 lines above"
+                            .to_owned(),
+                        "state the invariant that makes this sound in a // SAFETY: comment",
+                    ));
+                }
+            }
+            // L006 — stdout cleanliness.
+            "print" | "println"
+                if !under(file, STDOUT_PATHS)
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('!')) =>
+            {
+                findings.push(finding(
+                    "L006",
+                    "stdout-cleanliness",
+                    file,
+                    token.line,
+                    token.col,
+                    format!(
+                        "`{}!` outside crates/cli and the experiment bins — stdout is \
+                         the payload channel",
+                        token.text
+                    ),
+                    "write diagnostics to stderr (eprintln!) or thread a Write sink",
+                ));
+            }
+            // L007 — pub error enums must be #[non_exhaustive].
+            "enum"
+                if token_is_pub_before(&sig, i)
+                    && sig.get(i + 1).is_some_and(|t| {
+                        t.kind == TokenKind::Ident && t.text.contains("Error")
+                    })
+                    && !non_exhaustive_before(&sig, i - 1) =>
+            {
+                let name_token = sig[i + 1];
+                findings.push(finding(
+                    "L007",
+                    "nonexhaustive-public-errors",
+                    file,
+                    name_token.line,
+                    name_token.col,
+                    format!("pub error enum `{}` is exhaustively matchable", name_token.text),
+                    "add #[non_exhaustive] so new failure modes are not breaking changes",
+                ));
+            }
+            // L008 — direct diagnose() outside the defining crate.
+            "diagnose"
+                if !under(file, &[DIAGNOSE_CRATE])
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && !call_is_method_or_def(&sig, i) =>
+            {
+                findings.push(finding(
+                    "L008",
+                    "no-silent-empty-intersection",
+                    file,
+                    token.line,
+                    token.col,
+                    "direct `diagnose()` call — an empty candidate set is silently \
+                     ambiguous"
+                        .to_owned(),
+                    "call diagnose_checked (or the robust engine) and handle \
+                     AllSessionsPassed / ContradictoryHistory",
+                ));
+            }
+            _ => {}
+        }
+    }
+    (findings, unsafe_lines)
+}
+
+/// True when significant tokens `i+1`, `i+2` are `::`.
+fn path_sep_follows(sig: &[&Token], i: usize) -> bool {
+    sig.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && sig.get(i + 2).is_some_and(|t| t.is_punct(':'))
+}
+
+/// True when a `// SAFETY:` (or `/* SAFETY: */`) comment sits on the
+/// `unsafe` line itself or within the 3 lines above it.
+fn has_safety_comment(comments: &[&Token], unsafe_line: u32) -> bool {
+    comments.iter().any(|c| {
+        c.text.contains("SAFETY:")
+            && c.line <= unsafe_line
+            && unsafe_line.saturating_sub(c.line) <= 3
+    })
+}
+
+/// True when the token before `i` (an `enum` keyword) is `pub`.
+/// `pub(crate)` and private enums are not public API and are skipped.
+fn token_is_pub_before(sig: &[&Token], i: usize) -> bool {
+    i > 0 && sig[i - 1].is_ident("pub")
+}
+
+/// Walks attribute groups backwards from the token before `pub`
+/// (index `pub_index - 1`... caller passes the index *of* `pub`) and
+/// reports whether any attribute mentions `non_exhaustive`.
+fn non_exhaustive_before(sig: &[&Token], pub_index: usize) -> bool {
+    let mut j = pub_index; // index of `pub`; attributes end at j-1
+    while j > 0 {
+        let end = j - 1;
+        if !sig[end].is_punct(']') {
+            return false; // ran out of attributes
+        }
+        // Find the matching `[`, tolerating nested brackets inside the
+        // attribute (e.g. #[cfg_attr(..., derive(...))]).
+        let mut depth = 0usize;
+        let mut k = end;
+        loop {
+            if sig[k].is_punct(']') {
+                depth += 1;
+            } else if sig[k].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return false; // unbalanced; bail conservatively
+            }
+            k -= 1;
+        }
+        if k == 0 || !sig[k - 1].is_punct('#') {
+            return false;
+        }
+        if sig[k..end].iter().any(|t| t.is_ident("non_exhaustive")) {
+            return true;
+        }
+        j = k - 1; // continue above the `#`
+    }
+    false
+}
+
+/// True when `diagnose(` at `i` is a method call (`x.diagnose(`), a
+/// definition (`fn diagnose(`), or a macro fragment we should not
+/// flag.
+fn call_is_method_or_def(sig: &[&Token], i: usize) -> bool {
+    i > 0 && (sig[i - 1].is_punct('.') || sig[i - 1].is_ident("fn"))
+}
+
+/// L001 — `no-external-deps`: every dependency in every `Cargo.toml`
+/// must be a workspace path dependency (or `workspace = true`
+/// inheritance). A line-oriented scan is enough: dependency sections
+/// are flat `name = value` lists, and a value that carries neither
+/// `path` nor `workspace` names a registry crate.
+#[must_use]
+pub fn check_manifest(file: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.foo]`-style tables: (header line, name, any path/
+    // workspace key seen).
+    let mut dep_table: Option<(u32, String, bool)> = None;
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = u32::try_from(index + 1).unwrap_or(u32::MAX);
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush_dep_table(&mut dep_table, file, &mut findings);
+            let header = line.trim_matches(['[', ']']);
+            in_dep_section = is_dep_section(header);
+            if let Some(name) = dep_table_name(header) {
+                dep_table = Some((line_no, name.to_owned(), false));
+            }
+            continue;
+        }
+        if let Some((_, _, satisfied)) = &mut dep_table {
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "path" || key == "workspace" {
+                *satisfied = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        // `foo.workspace = true` / `foo.path = "…"` dotted keys are
+        // workspace-local; inline tables must mention path/workspace.
+        let local = key.ends_with(".workspace")
+            || key.ends_with(".path")
+            || value.contains("path")
+            || value.contains("workspace");
+        if !local {
+            findings.push(finding(
+                "L001",
+                "no-external-deps",
+                file,
+                line_no,
+                1,
+                format!("dependency `{key}` is not a workspace path dependency"),
+                "vendor the code into a crates/ member; the build environment has \
+                 no registry access",
+            ));
+        }
+    }
+    flush_dep_table(&mut dep_table, file, &mut findings);
+    findings
+}
+
+fn flush_dep_table(
+    dep_table: &mut Option<(u32, String, bool)>,
+    file: &str,
+    findings: &mut Vec<Finding>,
+) {
+    if let Some((line, name, satisfied)) = dep_table.take() {
+        if !satisfied {
+            findings.push(finding(
+                "L001",
+                "no-external-deps",
+                file,
+                line,
+                1,
+                format!("dependency table `{name}` has no `path` or `workspace` key"),
+                "vendor the code into a crates/ member; the build environment has \
+                 no registry access",
+            ));
+        }
+    }
+}
+
+fn is_dep_section(header: &str) -> bool {
+    matches!(
+        header,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || (header.starts_with("target.") && header.ends_with("dependencies"))
+}
+
+/// For `[dependencies.foo]`-style headers, the dependency name.
+fn dep_table_name(header: &str) -> Option<&str> {
+    for section in [
+        "dependencies.",
+        "dev-dependencies.",
+        "build-dependencies.",
+        "workspace.dependencies.",
+    ] {
+        if let Some(name) = header.strip_prefix(section) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn rust_findings(file: &str, source: &str) -> Vec<Finding> {
+        check_rust(file, &tokenize(source)).0
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn l002_flags_ambient_rng() {
+        let f = rust_findings("crates/x/src/lib.rs", "let r = rand::thread_rng();");
+        assert_eq!(rules_of(&f), vec!["L002", "L002"]);
+        assert!(rust_findings("crates/x/src/lib.rs", "let r = scan_rng::Rng::new(0);").is_empty());
+        // `rand` as a plain variable is not the crate path.
+        assert!(rust_findings("crates/x/src/lib.rs", "let rand = 3; use_it(rand);").is_empty());
+    }
+
+    #[test]
+    fn l003_scoped_to_non_timing_crates() {
+        let source = "let t = Instant::now();";
+        assert_eq!(rules_of(&rust_findings("crates/core/src/a.rs", source)), vec!["L003"]);
+        assert!(rust_findings("crates/bench/src/timing.rs", source).is_empty());
+        assert!(rust_findings("crates/obs/src/span.rs", source).is_empty());
+        // `Instant::elapsed` etc. without `now` is fine.
+        assert!(rust_findings("crates/core/src/a.rs", "type T = Instant;").is_empty());
+    }
+
+    #[test]
+    fn l004_scoped_to_deterministic_crates() {
+        let source = "use std::collections::HashMap;";
+        assert_eq!(rules_of(&rust_findings("crates/core/src/a.rs", source)), vec!["L004"]);
+        assert_eq!(rules_of(&rust_findings("crates/soc/tests/t.rs", source)), vec!["L004"]);
+        assert!(rust_findings("crates/netlist/src/a.rs", source).is_empty());
+        assert!(rust_findings("crates/obs/src/a.rs", source).is_empty());
+    }
+
+    #[test]
+    fn l005_requires_nearby_safety_comment() {
+        let bad = "fn f() { unsafe { work() } }";
+        let (findings, unsafes) = check_rust("crates/x/src/a.rs", &tokenize(bad));
+        assert_eq!(rules_of(&findings), vec!["L005"]);
+        assert_eq!(unsafes, vec![1]);
+
+        let good = "// SAFETY: the buffer outlives the call\nfn f() { unsafe { work() } }";
+        let (findings, unsafes) = check_rust("crates/x/src/a.rs", &tokenize(good));
+        assert!(findings.is_empty());
+        assert_eq!(unsafes, vec![2]);
+
+        // A SAFETY comment more than 3 lines up does not count.
+        let far = "// SAFETY: stale\n\n\n\n\nunsafe { work() }";
+        let (findings, _) = check_rust("crates/x/src/a.rs", &tokenize(far));
+        assert_eq!(rules_of(&findings), vec!["L005"]);
+    }
+
+    #[test]
+    fn l006_scoped_to_stdout_owners() {
+        let source = "println!(\"hi\"); print!(\"x\"); eprintln!(\"ok\");";
+        let f = rust_findings("crates/obs/src/a.rs", source);
+        assert_eq!(rules_of(&f), vec!["L006", "L006"]);
+        assert!(rust_findings("crates/cli/src/main.rs", source).is_empty());
+        assert!(rust_findings("crates/bench/src/bin/table1.rs", source).is_empty());
+        // The bench *library* is not exempt.
+        assert_eq!(
+            rules_of(&rust_findings("crates/bench/src/timing.rs", "println!(\"t\");")),
+            vec!["L006"]
+        );
+    }
+
+    #[test]
+    fn l007_checks_attributes() {
+        let bad = "#[derive(Clone, Debug)]\npub enum ParseError { Bad }";
+        assert_eq!(rules_of(&rust_findings("crates/x/src/a.rs", bad)), vec!["L007"]);
+
+        let good = "#[derive(Clone)]\n#[non_exhaustive]\npub enum ParseError { Bad }";
+        assert!(rust_findings("crates/x/src/a.rs", good).is_empty());
+
+        // Attribute order does not matter.
+        let good2 = "#[non_exhaustive]\n#[derive(Clone)]\npub enum IoError { Bad }";
+        assert!(rust_findings("crates/x/src/a.rs", good2).is_empty());
+
+        // Non-error enums and private enums are out of scope.
+        assert!(rust_findings("crates/x/src/a.rs", "pub enum Mode { A }").is_empty());
+        assert!(rust_findings("crates/x/src/a.rs", "enum InnerError { A }").is_empty());
+    }
+
+    #[test]
+    fn l008_flags_free_calls_only() {
+        let free = "let d = diagnose(&plan, &outcome);";
+        assert_eq!(rules_of(&rust_findings("crates/bench/src/bin/x.rs", free)), vec!["L008"]);
+        assert!(rust_findings("crates/core/src/experiment.rs", free).is_empty());
+        assert!(rust_findings("crates/x/src/a.rs", "let d = tester.diagnose(&f);").is_empty());
+        assert!(rust_findings("crates/x/src/a.rs", "pub fn diagnose(x: u8) {}").is_empty());
+        let qualified = "let d = scan_diagnosis::diagnose(&plan, &outcome);";
+        assert_eq!(
+            rules_of(&rust_findings("crates/x/src/a.rs", qualified)),
+            vec!["L008"]
+        );
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_do_not_fire() {
+        let source = r####"
+// println!("in comment") and unsafe and HashMap
+let s = "rand::thread_rng() HashMap unsafe println!";
+let r = r#"Instant::now() diagnose(x)"#;
+"####;
+        assert!(rust_findings("crates/core/src/a.rs", source).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_parsing() {
+        let tokens = tokenize(
+            "// lint:allow(L004): membership-only set\nuse std::collections::HashSet;\n\
+             // lint:allow(L006)\nprintln!(\"x\");",
+        );
+        let (allows, malformed) = inline_allows("f.rs", &tokens);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "L004");
+        assert_eq!(allows[0].reason, "membership-only set");
+        assert_eq!(allows[0].line, 1);
+        assert_eq!(malformed.len(), 1);
+        assert_eq!(malformed[0].rule, "L000");
+    }
+
+    #[test]
+    fn l001_manifest_rules() {
+        let clean = r#"
+[package]
+name = "scan-x"
+
+[dependencies]
+scan-obs.workspace = true
+scan-rng = { path = "../rng", version = "0.1.0" }
+
+[dev-dependencies]
+scan-bench = { workspace = true }
+"#;
+        assert!(check_manifest("crates/x/Cargo.toml", clean).is_empty());
+
+        let dirty = r#"
+[dependencies]
+rand = "0.8"
+serde = { version = "1", features = ["derive"] }
+
+[dependencies.criterion]
+version = "0.5"
+"#;
+        let f = check_manifest("crates/x/Cargo.toml", dirty);
+        assert_eq!(rules_of(&f), vec!["L001", "L001", "L001"]);
+        assert!(f[0].message.contains("rand"));
+        assert!(f[2].message.contains("criterion"));
+
+        let table_ok = "[dependencies.scan-obs]\npath = \"../obs\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", table_ok).is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: violations that are all explicitly suppressed — L006 via
+// the tree's lint.toml allow-path, L003 via an inline directive.
+pub fn report() {
+    println!("payload line");
+    // lint:allow(L003): measuring wall time is this fixture's purpose
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,4 @@
+// Fixture: L002 no-ambient-rng — ambient entropy draw.
+pub fn seed() -> u64 {
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,4 @@
+// Fixture: L003 no-wall-clock-in-core — clock read outside bench/obs.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+// Fixture: L005 unsafe-needs-safety-comment — no SAFETY comment.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

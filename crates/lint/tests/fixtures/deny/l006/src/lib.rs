@@ -1,0 +1,5 @@
+// Fixture: L006 stdout-cleanliness — stdout write outside the CLI
+// and the experiment bins.
+pub fn narrate() {
+    println!("progress: 50%");
+}

@@ -1,0 +1,7 @@
+// Fixture: L007 nonexhaustive-public-errors — matchable pub error
+// enum.
+#[derive(Debug)]
+pub enum LoadError {
+    Missing,
+    Corrupt,
+}

@@ -1,0 +1,5 @@
+// Fixture: L008 no-silent-empty-intersection — unchecked free
+// `diagnose()` call outside the defining crate.
+pub fn run(plan: &Plan, outcome: &Outcome) -> Diagnosis {
+    diagnose(plan, outcome)
+}

@@ -28,6 +28,7 @@ pub struct ParseBenchError {
 
 /// The specific failure encountered while parsing `.bench` text.
 #[derive(Clone, Eq, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum ParseBenchErrorKind {
     /// A line was not a comment, an `INPUT`/`OUTPUT` declaration, or an
     /// assignment.
@@ -70,6 +71,7 @@ impl Error for ParseBenchError {
 
 /// Error returned when a netlist is structurally invalid.
 #[derive(Clone, Eq, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum NetlistError {
     /// A net is driven by more than one source.
     MultipleDrivers {

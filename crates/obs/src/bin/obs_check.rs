@@ -4,8 +4,9 @@
 //!
 //! * an NDJSON stream (`.ndjson`): every line must parse as a JSON
 //!   object with a known `type` — trace events (`meta`/`span`/
-//!   `counter`/`hist`), diagnosis audit events (`fault`), and
-//!   fault-tolerant recovery events (`retry`/`vote`/`fallback`) are
+//!   `counter`/`hist`), diagnosis audit events (`fault`),
+//!   fault-tolerant recovery events (`retry`/`vote`/`fallback`), and
+//!   static-analysis events from `scan-lint` (`finding`/`lint`) are
 //!   all accepted;
 //! * a collapsed-stack profile (`.folded`, or any non-JSON text):
 //!   every line must be `frame[;frame…] <count>`;
@@ -26,6 +27,7 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut spans = 0usize;
     let mut faults = 0usize;
     let mut recoveries = 0usize;
+    let mut findings = 0usize;
     let mut lines = 0usize;
     for (index, line) in text.lines().enumerate() {
         if line.is_empty() {
@@ -64,6 +66,15 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
                     .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
                 recoveries += 1;
             }
+            "finding" => {
+                check_finding_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                findings += 1;
+            }
+            "lint" => {
+                check_lint_summary(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+            }
             other => {
                 return Err(format!(
                     "{path}:{}: unknown event type `{other}`",
@@ -77,8 +88,49 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     }
     eprintln!(
         "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s), \
-         {recoveries} recovery event(s) OK"
+         {recoveries} recovery event(s), {findings} lint finding(s) OK"
     );
+    Ok(())
+}
+
+/// One static-analysis finding from a `scan-lint --out` stream: a rule
+/// identifier, a severity, and the source span it anchors to (see
+/// `docs/LINTS.md`).
+fn check_finding_event(value: &Value) -> Result<(), String> {
+    for member in ["rule", "name", "file", "message"] {
+        if value.get(member).and_then(Value::as_str).is_none() {
+            return Err(format!("finding event missing string \"{member}\""));
+        }
+    }
+    let severity = value.get("severity").and_then(Value::as_str);
+    if !matches!(severity, Some("deny" | "warn")) {
+        return Err("finding event missing severity deny|warn".to_owned());
+    }
+    for member in ["line", "col"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 1.0);
+        if !ok {
+            return Err(format!("finding event missing positive \"{member}\""));
+        }
+    }
+    Ok(())
+}
+
+/// The trailing `scan-lint` run summary — emitted exactly once per
+/// stream, even when the workspace is clean, so a lint export is never
+/// an empty NDJSON file.
+fn check_lint_summary(value: &Value) -> Result<(), String> {
+    for member in ["files", "manifests", "findings", "suppressed", "unsafe_sites"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("lint summary missing non-negative \"{member}\""));
+        }
+    }
     Ok(())
 }
 

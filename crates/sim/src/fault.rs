@@ -1,7 +1,7 @@
 //! Single stuck-at faults: sites, enumeration, and equivalence
 //! collapsing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use scan_netlist::{GateId, GateKind, NetId, Netlist};
@@ -125,7 +125,7 @@ impl FaultUniverse {
     pub fn collapsed(netlist: &Netlist) -> Self {
         // forward: (net, value) stem fault → equivalent (net, value)
         // further downstream.
-        let mut forward: HashMap<(NetId, bool), (NetId, bool)> = HashMap::new();
+        let mut forward: BTreeMap<(NetId, bool), (NetId, bool)> = BTreeMap::new();
         for gid in netlist.gate_ids() {
             let gate = netlist.gate(gid);
             for &input in &gate.inputs {
@@ -155,7 +155,7 @@ impl FaultUniverse {
             }
             key
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut faults = Vec::new();
         for fault in FaultUniverse::all(netlist).faults {
             match fault.site {

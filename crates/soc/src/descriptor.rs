@@ -43,6 +43,7 @@ pub struct ParseSocError {
 
 /// The specific descriptor parsing failure.
 #[derive(Clone, Eq, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum ParseSocErrorKind {
     /// An unknown directive keyword.
     UnknownDirective(String),

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Error returned when building a system-on-chip test structure.
 #[derive(Clone, Eq, PartialEq, Debug)]
+#[non_exhaustive]
 pub enum BuildSocError {
     /// No cores were supplied.
     NoCores,

@@ -118,7 +118,7 @@ impl Soc {
         if cores.is_empty() {
             return Err(BuildSocError::NoCores);
         }
-        let mut names = std::collections::HashSet::new();
+        let mut names = std::collections::BTreeSet::new();
         for core in cores {
             if !names.insert(core.name().to_owned()) {
                 return Err(BuildSocError::DuplicateCoreName {
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn balanced_covers_every_cell_once() {
         let soc = Soc::balanced("t", two_cores(), 3).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for chain in soc.chains() {
             for cell in chain {
                 assert!(seen.insert(*cell), "cell {cell:?} appears twice");
@@ -267,7 +267,7 @@ mod tests {
         let b = soc.core_cells(1);
         assert_eq!(a.len(), 4);
         assert_eq!(b.len(), 20);
-        let all: std::collections::HashSet<usize> = a.iter().chain(b.iter()).copied().collect();
+        let all: std::collections::BTreeSet<usize> = a.iter().chain(b.iter()).copied().collect();
         assert_eq!(all.len(), 24);
     }
 

@@ -80,12 +80,12 @@ impl TestSchedule {
     fn phase_shift_cycles(soc: &Soc, active: &[usize]) -> usize {
         // Per chain: active cores contribute their full segment length,
         // bypassed cores one bypass flop.
-        let active_set: std::collections::HashSet<usize> = active.iter().copied().collect();
+        let active_set: std::collections::BTreeSet<usize> = active.iter().copied().collect();
         soc.chains()
             .iter()
             .map(|chain| {
                 let mut cycles = 0usize;
-                let mut bypassed_seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+                let mut bypassed_seen: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
                 for cell in chain {
                     if active_set.contains(&(cell.core as usize)) {
                         cycles += 1;

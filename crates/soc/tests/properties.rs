@@ -28,7 +28,7 @@ fn balanced_covers_exactly_once() {
         let soc = Soc::balanced("t", modules, width).unwrap();
         assert_eq!(soc.num_chains(), width);
         assert_eq!(soc.total_positions(), expected);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for chain in soc.chains() {
             for cell in chain {
                 assert!(seen.insert(*cell));

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &BistConfig::new(4, 4, Scheme::TWO_STEP_DEFAULT),
     )?;
     let errors = fsim.error_map(&fault);
-    let diag = diagnose(&plan, &plan.analyze(errors.iter_bits()));
+    let diag = diagnose_checked(&plan, &plan.analyze(errors.iter_bits()))?;
     println!(
         "healthy chain: logic fault {} narrows to {} candidate cells",
         fault.describe(&circuit),

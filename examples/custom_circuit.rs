@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         let outcome = plan.analyze(errors.iter_bits());
-        let diag = diagnose(&plan, &outcome);
+        let diag = diagnose_checked(&plan, &outcome)?;
         acc.add(diag.num_candidates(), errors.failing_positions().len());
     }
     println!("diagnosed {} detected faults: {acc}", acc.num_faults());

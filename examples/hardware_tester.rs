@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fast path: linear superposition over the sparse error map.
     let plan = DiagnosisPlan::new(ChainLayout::single_chain(view.len()), num_patterns, &config)?;
     let outcome = plan.analyze(fsim.error_map(&fault).iter_bits());
-    let engine = diagnose(&plan, &outcome);
+    let engine = diagnose_checked(&plan, &outcome)?;
     println!("fast engine:  {} candidates", engine.num_candidates());
 
     assert_eq!(&hw.candidates, engine.candidates());

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &BistConfig::new(2, 3, Scheme::TWO_STEP_DEFAULT),
     )?;
     let outcome = plan.analyze(errors.iter_bits());
-    let diag = diagnose(&plan, &outcome);
+    let diag = diagnose_checked(&plan, &outcome)?;
     let suspects: Vec<usize> = diag.candidates().iter().collect();
     println!("diagnosed candidate failing cells: {suspects:?}");
 

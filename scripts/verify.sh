@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Workspace verification: tier-1 (release build + full test suite) plus
-# a warning-free clippy pass. Run from anywhere inside the repository.
+# a warning-free clippy pass and the vendored scan-lint static-analysis
+# gate (docs/LINTS.md). Run from anywhere inside the repository.
 #
 #   scripts/verify.sh
 #
@@ -19,9 +20,14 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out)"
 SMOKE_DIR=target/obs-smoke
 mkdir -p "$SMOKE_DIR"
+
+echo "==> static analysis (scan-lint --deny, findings NDJSON via obs-check)"
+./target/release/scan-lint --deny --out "$SMOKE_DIR/lint.ndjson"
+./target/release/obs-check "$SMOKE_DIR/lint.ndjson"
+
+echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out)"
 ./target/release/scanbist \
     --trace --trace-out "$SMOKE_DIR/trace.ndjson" \
     --metrics-out "$SMOKE_DIR/metrics.json" \

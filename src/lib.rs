@@ -44,8 +44,8 @@ pub use scan_soc as soc;
 pub mod prelude {
     pub use scan_bist::{Lfsr, Misr, MisrModel, Partition, PartitionConfig, Prpg, Scheme};
     pub use scan_diagnosis::{
-        diagnose, prune_by_cover, BistConfig, CampaignSpec, ChainLayout, DiagnosisPlan,
-        DrAccumulator, PreparedCampaign, ResponseModel, SchemeReport,
+        diagnose, diagnose_checked, prune_by_cover, BistConfig, CampaignSpec, ChainLayout,
+        DiagnosisPlan, DrAccumulator, PreparedCampaign, ResponseModel, SchemeReport,
     };
     pub use scan_netlist::{GateKind, Netlist, NetlistBuilder, ScanOrdering, ScanView};
     pub use scan_sim::{EventFaultSimulator, Fault, FaultSimulator, FaultUniverse, PatternSet};

@@ -66,7 +66,8 @@ fn chain_masking_beats_baseline_on_multi_chain_soc() {
         .map(|(pos, pat)| (local_to_global[pos], pat))
         .collect();
 
-    let baseline = scan_bist_suite::diagnosis::diagnose(&plan, &plan.analyze(bits.iter().copied()));
+    let baseline = scan_bist_suite::diagnosis::diagnose_checked(&plan, &plan.analyze(bits.iter().copied()))
+        .expect("injected chain fault yields a consistent failing history");
     let masked = diagnose_chain_masked(&plan, &analyze_chain_masked(&plan, bits.iter().copied()));
     assert!(masked.is_subset(baseline.candidates()));
     for &(cell, _) in &bits {

@@ -35,7 +35,8 @@ fn diagnosis_contains_truth_for_every_s27_fault() {
                 continue;
             }
             let outcome = plan.analyze(errors.iter_bits());
-            let diag = diagnose(&plan, &outcome);
+            let diag = diagnose_checked(&plan, &outcome)
+                .expect("a detected fault yields a consistent failing history");
             for cell in errors.failing_positions().iter() {
                 // A 16-bit MISR aliases with probability ~2^-16 per
                 // session; none of s27's few dozen faults hits it.
