@@ -2,10 +2,12 @@
 //! workspace's hot paths, robust summary statistics, and versioned
 //! baseline files with regression comparison.
 //!
-//! Seven kernels cover the pipeline end to end — fault simulation,
-//! MISR compaction, interval and random-selection partition
-//! generation, serial and parallel diagnosis campaigns, and an SOC
-//! per-core sweep. Each kernel runs `warmup` untimed repetitions and
+//! Nine kernels cover the pipeline end to end — campaign fault
+//! simulation (bit-parallel by default), the raw PPSFP error-map sweep
+//! (`fault_sim_bitpar`), bit-serial and fused word-level MISR
+//! compaction, interval and random-selection partition generation,
+//! serial and parallel diagnosis campaigns, and an SOC per-core sweep.
+//! Each kernel runs `warmup` untimed repetitions and
 //! `repeats` timed ones; samples above `Q3 + 1.5·IQR` are rejected as
 //! outliers before the median and p95 are taken, so a single scheduler
 //! hiccup does not poison a baseline.
@@ -21,9 +23,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use scan_bist::partition::{generate_partitions, PartitionConfig};
-use scan_bist::{Misr, Prpg, Scheme};
-use scan_diagnosis::{CampaignSpec, PreparedCampaign};
-use scan_netlist::generate;
+use scan_bist::{Misr, Prpg, Scheme, WordMisr};
+use scan_diagnosis::{lfsr_patterns, CampaignSpec, PreparedCampaign};
+use scan_netlist::{generate, ScanView};
+use scan_sim::PpsfpSimulator;
 use scan_obs::json::{parse, Value};
 use scan_soc::{CoreModule, Soc};
 
@@ -359,6 +362,7 @@ fn time_kernel<T>(warmup: usize, repeats: usize, mut body: impl FnMut() -> T) ->
 ///
 /// Panics only if the embedded benchmark circuits fail to prepare,
 /// which would mean the workspace itself is broken.
+#[allow(clippy::too_many_lines)]
 pub fn run_suite(
     config: &SuiteConfig,
     mut on_kernel: impl FnMut(&str, &KernelStats),
@@ -393,6 +397,27 @@ pub fn run_suite(
     });
     record("fault_sim", &mut kernels, samples, &mut on_kernel);
 
+    // The raw bit-parallel error-map sweep, isolated from campaign
+    // setup: the engine and the detected-fault sample are prepared
+    // once, the timed body re-simulates every sampled fault.
+    let view = ScanView::natural(&netlist, spec.include_outputs);
+    let pattern_set = lfsr_patterns(&netlist, patterns, spec.prpg_seed);
+    let mut psim =
+        PpsfpSimulator::new(&netlist, &view, &pattern_set).expect("embedded benchmark prepares");
+    let sample: Vec<scan_sim::Fault> = psim
+        .sample_detected_with_maps(faults, spec.fault_seed)
+        .into_iter()
+        .map(|(fault, _)| fault)
+        .collect();
+    let samples = time_kernel(config.warmup, config.repeats, || {
+        let mut failing = 0usize;
+        for fault in &sample {
+            failing += psim.error_map(fault).failing_positions().len();
+        }
+        failing
+    });
+    record("fault_sim_bitpar", &mut kernels, samples, &mut on_kernel);
+
     let samples = time_kernel(config.warmup, config.repeats, || {
         let mut misr = Misr::new(16).expect("degree 16 supported");
         let mut prpg = Prpg::new(0xACE1).expect("PRPG degree supported");
@@ -402,6 +427,25 @@ pub fn run_suite(
         misr.signature()
     });
     record("misr_compaction", &mut kernels, samples, &mut on_kernel);
+
+    // Fused compaction: the same stream folded 64 clocks per step,
+    // ragged tail included (`misr_cycles` is not a multiple of 64).
+    let samples = time_kernel(config.warmup, config.repeats, || {
+        let mut misr = WordMisr::new(16).expect("degree 16 supported");
+        let mut prpg = Prpg::new(0xACE1).expect("PRPG degree supported");
+        let mut remaining = misr_cycles;
+        while remaining > 0 {
+            let n = remaining.min(64) as u32;
+            let mut word = 0u64;
+            for lane in 0..n {
+                word |= u64::from(prpg.next_bit()) << lane;
+            }
+            misr.clock_word(word, n);
+            remaining -= u64::from(n);
+        }
+        misr.signature()
+    });
+    record("misr_fused", &mut kernels, samples, &mut on_kernel);
 
     let partition_config = PartitionConfig::new(chain_len, groups);
     let samples = time_kernel(config.warmup, config.repeats, || {
@@ -582,8 +626,10 @@ mod tests {
         };
         let mut seen = Vec::new();
         let result = run_suite(&config, |name, _| seen.push(name.to_owned()));
-        assert_eq!(result.kernels.len(), 7);
+        assert_eq!(result.kernels.len(), 9);
         assert!(seen.contains(&"diagnosis_serial".to_owned()));
+        assert!(seen.contains(&"fault_sim_bitpar".to_owned()));
+        assert!(seen.contains(&"misr_fused".to_owned()));
         for (name, k) in &result.kernels {
             assert!(k.samples >= 1, "kernel {name} lost all samples");
         }

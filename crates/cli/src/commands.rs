@@ -8,7 +8,7 @@ use scan_diagnosis::{
 };
 use scan_netlist::stats::{ClusteringStats, GateCensus};
 use scan_netlist::{generate, GateKind, Netlist, ScanView};
-use scan_sim::{FaultSimulator, FaultUniverse};
+use scan_sim::{FaultSimulator, FaultUniverse, PpsfpSimulator};
 use scan_soc::SocDescriptor;
 
 use crate::args::{Command, Invocation, HELP};
@@ -102,13 +102,16 @@ fn execute<W: Write>(
             let netlist = load(circuit)?;
             let view = ScanView::natural(&netlist, true);
             let pattern_set = lfsr_patterns(&netlist, *patterns, 0xACE1);
-            let fsim =
-                FaultSimulator::new(&netlist, &view, &pattern_set).map_err(|e| e.to_string())?;
+            // Fault dropping pays off here: every fault only needs a
+            // yes/no, so the bit-parallel engine stops at the first
+            // failing pattern word.
+            let mut psim =
+                PpsfpSimulator::new(&netlist, &view, &pattern_set).map_err(|e| e.to_string())?;
             let universe = FaultUniverse::collapsed(&netlist);
             let detected = universe
                 .faults()
                 .iter()
-                .filter(|f| fsim.is_detected(f))
+                .filter(|f| psim.detects(f))
                 .count();
             let fraction = detected as f64 / universe.len().max(1) as f64;
             if json {
@@ -166,6 +169,7 @@ fn execute<W: Write>(
             faults,
             scheme,
             fault,
+            engine,
         } => {
             let netlist = load(circuit)?;
             if let Some(spec_text) = fault {
@@ -188,6 +192,7 @@ fn execute<W: Write>(
             }
             let mut spec = CampaignSpec::new(*patterns, *groups, *partitions);
             spec.num_faults = *faults;
+            spec.engine = *engine;
             let campaign =
                 PreparedCampaign::from_circuit(&netlist, &spec).map_err(|e| e.to_string())?;
             let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
@@ -227,6 +232,7 @@ fn execute<W: Write>(
             groups,
             partitions,
             scheme,
+            engine,
         } => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
@@ -237,6 +243,7 @@ fn execute<W: Write>(
                 .ok_or_else(|| format!("no core named `{faulty}` in {}", soc.name()))?;
             let mut spec = CampaignSpec::new(128, *groups, *partitions);
             spec.num_faults = 100;
+            spec.engine = *engine;
             let campaign =
                 PreparedCampaign::from_soc(&soc, core, &spec).map_err(|e| e.to_string())?;
             let report = campaign.run(*scheme).map_err(|e| e.to_string())?;
@@ -287,10 +294,12 @@ fn execute<W: Write>(
             votes,
             retries,
             threads,
+            engine,
         } => {
             let netlist = load(circuit)?;
             let mut spec = CampaignSpec::new(*patterns, *groups, *partitions);
             spec.num_faults = *faults;
+            spec.engine = *engine;
             let campaign =
                 PreparedCampaign::from_circuit(&netlist, &spec).map_err(|e| e.to_string())?;
             let mut config = NoiseConfig::noiseless(*seed);
@@ -985,7 +994,7 @@ mod tests {
         let document = std::fs::read_to_string(&out_path).expect("bench output written");
         let parsed = scan_bench::suite::SuiteResult::from_json(&document).unwrap();
         assert_eq!(parsed.suite, "smoke");
-        assert_eq!(parsed.kernels.len(), 7);
+        assert_eq!(parsed.kernels.len(), 9);
 
         // The file it just wrote is its own fixed point under compare.
         let (code, text) = run_to_string(&["bench", "--compare", &out_str, "--baseline", &out_str]);

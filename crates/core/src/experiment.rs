@@ -19,7 +19,10 @@ use std::fmt;
 
 use scan_bist::{Prpg, Scheme};
 use scan_netlist::{BitSet, Netlist, ScanOrdering, ScanView};
-use scan_sim::{ErrorMap, FaultSimulator, PatternSet, PatternShapeError};
+use scan_sim::{
+    ErrorMap, EventFaultSimulator, FaultSimulator, PatternSet, PatternShapeError, PpsfpSimulator,
+    SimEngine,
+};
 use scan_soc::Soc;
 
 use crate::diagnose::{diagnose, DiagnosisStatus};
@@ -63,6 +66,10 @@ pub struct CampaignSpec {
     /// reporting. `0.0` (the default, and the paper's setting) disables
     /// masking.
     pub x_mask_fraction: f64,
+    /// Which fault-simulation engine prepares the error maps. Both
+    /// engines are bit-exact (the differential harness proves it), so
+    /// this only changes preparation throughput, never results.
+    pub engine: SimEngine,
 }
 
 impl CampaignSpec {
@@ -82,6 +89,7 @@ impl CampaignSpec {
             include_outputs: true,
             ordering: ScanOrdering::Natural,
             x_mask_fraction: 0.0,
+            engine: SimEngine::default(),
         }
     }
 
@@ -375,27 +383,7 @@ impl PreparedCampaign {
             lfsr_patterns(netlist, spec.num_patterns, spec.prpg_seed)
         };
         scan_obs::metrics::add("campaign.patterns", spec.num_patterns as u64);
-        let fsim = {
-            let _span = scan_obs::span!("fault_sim_init");
-            FaultSimulator::new(netlist, &view, &patterns)?
-        };
-        let fault_sim_span = scan_obs::span!("fault_sim");
-        let cases: Vec<FaultCase> = if multiplet_size == 1 {
-            fsim.sample_detected_faults(spec.num_faults, spec.fault_seed)
-                .iter()
-                .map(|f| FaultCase {
-                    errors: fsim.error_map(f),
-                })
-                .collect()
-        } else {
-            fsim.sample_detected_multiplets(spec.num_faults, multiplet_size, spec.fault_seed)
-                .iter()
-                .map(|fs| FaultCase {
-                    errors: fsim.error_map_multi(fs),
-                })
-                .collect()
-        };
-        drop(fault_sim_span);
+        let cases = build_cases(netlist, &view, &patterns, spec, multiplet_size)?;
         scan_obs::metrics::add("campaign.faults", cases.len() as u64);
         if cases.is_empty() {
             return Err(CampaignError::NoDetectedFaults);
@@ -443,23 +431,11 @@ impl PreparedCampaign {
             lfsr_patterns(core.netlist(), spec.num_patterns, core_seed)
         };
         scan_obs::metrics::add("campaign.patterns", spec.num_patterns as u64);
-        let fsim = {
-            let _span = scan_obs::span!("fault_sim_init");
-            FaultSimulator::new(core.netlist(), core.view(), &patterns)?
-        };
-        let fault_sim_span = scan_obs::span!("fault_sim");
-        let faults = fsim.sample_detected_faults(spec.num_faults, spec.fault_seed);
-        if faults.is_empty() {
+        let cases = build_cases(core.netlist(), core.view(), &patterns, spec, 1)?;
+        if cases.is_empty() {
             return Err(CampaignError::NoDetectedFaults);
         }
-        let cases = faults
-            .iter()
-            .map(|f| FaultCase {
-                errors: fsim.error_map(f),
-            })
-            .collect();
-        drop(fault_sim_span);
-        scan_obs::metrics::add("campaign.faults", faults.len() as u64);
+        scan_obs::metrics::add("campaign.faults", cases.len() as u64);
         // Map this core's local positions to SOC-global cell ids.
         let mut local_to_global = vec![usize::MAX; core.view().len()];
         for (global, (cell, _, _)) in soc.layout().into_iter().enumerate() {
@@ -554,11 +530,11 @@ impl PreparedCampaign {
             .filter(observable)
             .collect();
         let actual = failing.len();
-        let outcome = plan.analyze(
+        let outcome = plan.analyze_packed(
             case.errors
-                .iter_bits()
-                .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                .filter(|(cell, _)| !masked.contains(*cell)),
+                .iter_words()
+                .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits))
+                .filter(|(cell, _, _)| !masked.contains(*cell)),
         );
         let mut diag = diagnose(plan, &outcome);
         if !masked.is_empty() {
@@ -590,11 +566,11 @@ impl PreparedCampaign {
         index: usize,
     ) -> Vec<usize> {
         let case = &self.cases[index];
-        let outcome = plan.analyze(
+        let outcome = plan.analyze_packed(
             case.errors
-                .iter_bits()
-                .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                .filter(|(cell, _)| !masked.contains(*cell)),
+                .iter_words()
+                .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits))
+                .filter(|(cell, _, _)| !masked.contains(*cell)),
         );
         let mut diag = diagnose(plan, &outcome);
         if !masked.is_empty() {
@@ -701,11 +677,11 @@ impl PreparedCampaign {
                     .iter()
                     .filter(observable)
                     .count();
-                let outcome = plan.analyze(
+                let outcome = plan.analyze_packed(
                     case.errors
-                        .iter_bits()
-                        .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                        .filter(|(cell, _)| !masked.contains(*cell)),
+                        .iter_words()
+                        .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits))
+                        .filter(|(cell, _, _)| !masked.contains(*cell)),
                 );
                 let mut diag = diagnose(&plan, &outcome);
                 if !masked.is_empty() {
@@ -814,11 +790,11 @@ impl PreparedCampaign {
             .iter()
             .filter(observable)
             .collect();
-        let truth = plan.analyze(
+        let truth = plan.analyze_packed(
             case.errors
-                .iter_bits()
-                .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                .filter(|(cell, _)| !masked.contains(*cell)),
+                .iter_words()
+                .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits))
+                .filter(|(cell, _, _)| !masked.contains(*cell)),
         );
         let fault = index as u64;
         let strict_ok = diagnose(plan, &noise.observe(&truth, fault, 0).to_outcome()).status()
@@ -987,11 +963,11 @@ impl PreparedCampaign {
                     .iter()
                     .filter(observable)
                     .count();
-                let truth = plan.analyze(
+                let truth = plan.analyze_packed(
                     case.errors
-                        .iter_bits()
-                        .map(|(pos, pat)| (self.local_to_global[pos], pat))
-                        .filter(|(cell, _)| !masked.contains(*cell)),
+                        .iter_words()
+                        .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits))
+                        .filter(|(cell, _, _)| !masked.contains(*cell)),
                 );
                 let robust = diagnose_robust(&plan, &truth, noise, policy, index as u64);
                 let mut candidates = robust.candidates;
@@ -1051,10 +1027,10 @@ impl PreparedCampaign {
         index: usize,
     ) -> LocCaseStats {
         let case = &self.cases[index];
-        let outcome = plan.analyze(
+        let outcome = plan.analyze_packed(
             case.errors
-                .iter_bits()
-                .map(|(pos, pat)| (self.local_to_global[pos], pat)),
+                .iter_words()
+                .map(|(pos, word, bits)| (self.local_to_global[pos], word, bits)),
         );
         let diag = diagnose(plan, &outcome);
         let mut density = vec![0usize; ctx.core_sizes.len()];
@@ -1149,6 +1125,71 @@ pub fn lfsr_patterns(netlist: &Netlist, num_patterns: usize, seed: u64) -> Patte
         num_patterns,
         || prpg.next_bit(),
     )
+}
+
+/// Samples the campaign's detected faults and simulates them to error
+/// maps on the engine selected by [`CampaignSpec::engine`].
+///
+/// Both engines draw from the same shuffled candidate sequence and are
+/// bit-exact over it (the `engine_diff` harness in `scan-sim` proves
+/// it), so the produced cases are identical — only preparation
+/// throughput differs.
+fn build_cases(
+    netlist: &Netlist,
+    view: &ScanView,
+    patterns: &PatternSet,
+    spec: &CampaignSpec,
+    multiplet_size: usize,
+) -> Result<Vec<FaultCase>, CampaignError> {
+    let case = |errors: ErrorMap| FaultCase { errors };
+    Ok(match (spec.engine, multiplet_size) {
+        (SimEngine::BitParallel, 1) => {
+            let mut psim = {
+                let _span = scan_obs::span!("fault_sim_init");
+                PpsfpSimulator::new(netlist, view, patterns)?
+            };
+            let _span = scan_obs::span!("fault_sim");
+            psim.sample_detected_with_maps(spec.num_faults, spec.fault_seed)
+                .into_iter()
+                .map(|(_, errors)| case(errors))
+                .collect()
+        }
+        (SimEngine::BitParallel, size) => {
+            let mut psim = {
+                let _span = scan_obs::span!("fault_sim_init");
+                PpsfpSimulator::new(netlist, view, patterns)?
+            };
+            let _span = scan_obs::span!("fault_sim");
+            psim.sample_detected_multiplets_with_maps(spec.num_faults, size, spec.fault_seed)
+                .into_iter()
+                .map(|(_, errors)| case(errors))
+                .collect()
+        }
+        (SimEngine::EventDriven, 1) => {
+            let mut esim = {
+                let _span = scan_obs::span!("fault_sim_init");
+                EventFaultSimulator::new(netlist, view, patterns)?
+            };
+            let _span = scan_obs::span!("fault_sim");
+            esim.sample_detected_with_maps(spec.num_faults, spec.fault_seed)
+                .into_iter()
+                .map(|(_, errors)| case(errors))
+                .collect()
+        }
+        (SimEngine::EventDriven, size) => {
+            // The event engine has no multi-fault worklist; multiplets
+            // keep the original whole-circuit resimulation oracle.
+            let fsim = {
+                let _span = scan_obs::span!("fault_sim_init");
+                FaultSimulator::new(netlist, view, patterns)?
+            };
+            let _span = scan_obs::span!("fault_sim");
+            fsim.sample_detected_multiplets(spec.num_faults, size, spec.fault_seed)
+                .iter()
+                .map(|fs| case(fsim.error_map_multi(fs)))
+                .collect()
+        }
+    })
 }
 
 #[cfg(test)]

@@ -391,6 +391,38 @@ impl DiagnosisPlan {
         }
         SessionOutcome::from_signatures(signatures)
     }
+
+    /// Word-level [`DiagnosisPlan::analyze`]: consumes *packed* error
+    /// words — `(global cell, word_index, bits)` triples where bit `l`
+    /// of `bits` is the error bit of pattern `word_index * 64 + l` —
+    /// as produced by `ErrorMap::iter_words` or streamed straight from
+    /// the PPSFP simulator's word sweep.
+    ///
+    /// MISR compaction is thereby fused into the word-level data path:
+    /// signatures accumulate per packed word with no intermediate
+    /// per-bit pair materialization. Bit-identical to
+    /// [`DiagnosisPlan::analyze`] over the expanded bits (signature
+    /// accumulation is XOR, so order never matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any encoded error bit is out of range.
+    #[must_use]
+    pub fn analyze_packed<I>(&self, error_words: I) -> SessionOutcome
+    where
+        I: IntoIterator<Item = (usize, usize, u64)>,
+    {
+        self.analyze(error_words.into_iter().flat_map(|(cell, w, bits)| {
+            std::iter::successors(
+                (bits != 0).then_some(bits),
+                |&rest| {
+                    let rest = rest & (rest - 1);
+                    (rest != 0).then_some(rest)
+                },
+            )
+            .map(move |rest| (cell, w * 64 + rest.trailing_zeros() as usize))
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +482,39 @@ mod tests {
                 assert_eq!(outcome.failed(pi, g), failed, "partition {pi} group {g}");
             }
         }
+    }
+
+    #[test]
+    fn analyze_packed_matches_analyze() {
+        // 100 patterns spans a full word plus a ragged tail; the packed
+        // path must reproduce the per-bit path exactly, signatures
+        // included.
+        let p = plan(23, 100, 4, 3);
+        let bits = [
+            (3usize, 0usize),
+            (3, 63),
+            (3, 64),
+            (9, 99),
+            (22, 70),
+            (10, 2),
+        ];
+        let mut words: Vec<(usize, usize, u64)> = Vec::new();
+        for &(cell, pattern) in &bits {
+            let (w, lane) = (pattern / 64, pattern % 64);
+            if let Some(entry) = words.iter_mut().find(|(c, ww, _)| *c == cell && *ww == w) {
+                entry.2 |= 1 << lane;
+            } else {
+                words.push((cell, w, 1 << lane));
+            }
+        }
+        assert_eq!(
+            p.analyze_packed(words.iter().copied()),
+            p.analyze(bits.iter().copied())
+        );
+        assert_eq!(
+            p.analyze_packed(std::iter::empty()),
+            p.analyze(std::iter::empty())
+        );
     }
 
     #[test]

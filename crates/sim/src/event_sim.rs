@@ -109,10 +109,41 @@ impl<'a> EventFaultSimulator<'a> {
         &self.golden
     }
 
+    /// Draws a reproducible sample of up to `count` *detected* faults
+    /// together with their error maps — the reference-oracle
+    /// counterpart of
+    /// [`PpsfpSimulator::sample_detected_with_maps`](crate::PpsfpSimulator::sample_detected_with_maps).
+    ///
+    /// Samples from the exact candidate sequence of
+    /// [`FaultSimulator::sample_detected_faults`](crate::FaultSimulator::sample_detected_faults),
+    /// so a campaign prepared on this engine sees the same faults (and,
+    /// both engines being bit-exact, the same error maps) as one
+    /// prepared on the bit-parallel engine.
+    pub fn sample_detected_with_maps(&mut self, count: usize, seed: u64) -> Vec<(Fault, ErrorMap)> {
+        let _span = scan_obs::span!("sample_detected");
+        let faults = crate::fault_sim::shuffled_candidate_faults(self.netlist, seed);
+        let mut detected = Vec::with_capacity(count);
+        let mut tried = 0u64;
+        for fault in faults {
+            if detected.len() == count {
+                break;
+            }
+            tried += 1;
+            let map = self.error_map(&fault);
+            if map.is_detected() {
+                detected.push((fault, map));
+            }
+        }
+        scan_obs::metrics::add("fault_sim.faults_tried", tried);
+        scan_obs::metrics::add("fault_sim.faults_detected", detected.len() as u64);
+        detected
+    }
+
     /// Simulates `fault` by event propagation and returns its error
     /// map. Bit-exact with
     /// [`FaultSimulator::error_map`](crate::FaultSimulator::error_map).
     pub fn error_map(&mut self, fault: &Fault) -> ErrorMap {
+        scan_obs::metrics::incr("fault_sim.error_maps");
         let mut errors = ResponseMap::zeroed(self.view_len, self.patterns.num_patterns());
         let forced = if fault.stuck { !0u64 } else { 0u64 };
         for word in 0..self.patterns.num_words() {

@@ -1,7 +1,6 @@
 //! Single stuck-at faults: sites, enumeration, and equivalence
 //! collapsing.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use scan_netlist::{GateId, GateKind, NetId, Netlist};
@@ -91,7 +90,7 @@ impl FaultUniverse {
     /// to the stem fault and are not duplicated.
     #[must_use]
     pub fn all(netlist: &Netlist) -> Self {
-        let mut faults = Vec::new();
+        let mut faults = Vec::with_capacity(2 * netlist.num_nets());
         for net in netlist.net_ids() {
             faults.push(Fault::stem(net, false));
             faults.push(Fault::stem(net, true));
@@ -124,8 +123,11 @@ impl FaultUniverse {
     #[must_use]
     pub fn collapsed(netlist: &Netlist) -> Self {
         // forward: (net, value) stem fault → equivalent (net, value)
-        // further downstream.
-        let mut forward: BTreeMap<(NetId, bool), (NetId, bool)> = BTreeMap::new();
+        // further downstream. Flat-indexed by `net * 2 + value`: this
+        // runs on every campaign preparation, so the lookup tables sit
+        // on the sampling hot path.
+        let slot = |net: NetId, value: bool| net.index() * 2 + usize::from(value);
+        let mut forward: Vec<Option<(NetId, bool)>> = vec![None; netlist.num_nets() * 2];
         for gid in netlist.gate_ids() {
             let gate = netlist.gate(gid);
             for &input in &gate.inputs {
@@ -135,13 +137,13 @@ impl FaultUniverse {
                 match gate.kind {
                     GateKind::Not | GateKind::Buf => {
                         let inv = gate.kind == GateKind::Not;
-                        forward.insert((input, false), (gate.output, inv));
-                        forward.insert((input, true), (gate.output, !inv));
+                        forward[slot(input, false)] = Some((gate.output, inv));
+                        forward[slot(input, true)] = Some((gate.output, !inv));
                     }
                     _ => {
                         if let Some(c) = gate.kind.controlling_value() {
                             let out_value = c ^ gate.kind.is_inverting();
-                            forward.insert((input, c), (gate.output, out_value));
+                            forward[slot(input, c)] = Some((gate.output, out_value));
                         }
                     }
                 }
@@ -150,18 +152,18 @@ impl FaultUniverse {
         let resolve = |mut key: (NetId, bool)| {
             // Chains are acyclic (they follow combinational paths), so
             // this terminates.
-            while let Some(&next) = forward.get(&key) {
+            while let Some(next) = forward[slot(key.0, key.1)] {
                 key = next;
             }
             key
         };
-        let mut seen = std::collections::BTreeSet::new();
+        let mut seen = vec![false; netlist.num_nets() * 2];
         let mut faults = Vec::new();
         for fault in FaultUniverse::all(netlist).faults {
             match fault.site {
                 FaultSite::Stem(net) => {
                     let rep = resolve((net, fault.stuck));
-                    if seen.insert(rep) {
+                    if !std::mem::replace(&mut seen[slot(rep.0, rep.1)], true) {
                         faults.push(Fault::stem(rep.0, rep.1));
                     }
                 }

@@ -12,7 +12,7 @@ use scan_rng::ScanRng;
 use scan_netlist::{Netlist, ScanView};
 
 use crate::error::PatternShapeError;
-use crate::fault::{site_has_fanout, Fault, FaultUniverse};
+use crate::fault::{Fault, FaultUniverse};
 use crate::pattern::PatternSet;
 use crate::response::{ErrorMap, ResponseMap};
 use crate::simulator::Simulator;
@@ -167,15 +167,7 @@ impl<'a> FaultSimulator<'a> {
     #[must_use]
     pub fn sample_detected_faults(&self, count: usize, seed: u64) -> Vec<Fault> {
         let _span = scan_obs::span!("sample_detected");
-        let universe = FaultUniverse::collapsed(self.netlist());
-        let mut faults: Vec<Fault> = universe
-            .faults()
-            .iter()
-            .copied()
-            .filter(|f| site_has_fanout(self.netlist(), f))
-            .collect();
-        let mut rng = ScanRng::seed_from_u64(seed);
-        rng.shuffle(&mut faults);
+        let faults = shuffled_candidate_faults(self.netlist(), seed);
         let mut detected = Vec::with_capacity(count);
         let mut tried = 0u64;
         for fault in faults {
@@ -209,15 +201,7 @@ impl<'a> FaultSimulator<'a> {
     ) -> Vec<Vec<Fault>> {
         assert!(size >= 1, "multiplet size must be at least 1");
         let _span = scan_obs::span!("sample_detected");
-        let universe = FaultUniverse::collapsed(self.netlist());
-        let mut faults: Vec<Fault> = universe
-            .faults()
-            .iter()
-            .copied()
-            .filter(|f| site_has_fanout(self.netlist(), f))
-            .collect();
-        let mut rng = ScanRng::seed_from_u64(seed ^ 0x4D55_4C54); // "MULT"
-        rng.shuffle(&mut faults);
+        let faults = shuffled_candidate_faults(self.netlist(), seed ^ MULTIPLET_SEED_TAG);
         let mut result = Vec::with_capacity(count);
         let mut tried = 0u64;
         for chunk in faults.chunks_exact(size) {
@@ -233,6 +217,48 @@ impl<'a> FaultSimulator<'a> {
         scan_obs::metrics::add("fault_sim.faults_detected", result.len() as u64);
         result
     }
+}
+
+/// Seed perturbation applied when sampling fault *multiplets* instead
+/// of single faults ("MULT"), so the two sample streams decorrelate.
+pub(crate) const MULTIPLET_SEED_TAG: u64 = 0x4D55_4C54;
+
+/// The shared candidate order every sampling engine draws from: the
+/// collapsed fault universe, restricted to sites with fanout, shuffled
+/// by `seed`.
+///
+/// Both [`FaultSimulator`] and the bit-parallel
+/// [`PpsfpSimulator`](crate::PpsfpSimulator) sample from this exact
+/// sequence, which is what makes their campaign fault samples — and
+/// therefore every downstream verdict — bit-identical.
+pub(crate) fn shuffled_candidate_faults(netlist: &Netlist, seed: u64) -> Vec<Fault> {
+    let _span = scan_obs::span!("candidates");
+    let universe = FaultUniverse::collapsed(netlist);
+    // Precomputed [`site_has_fanout`] verdict per stem net: the
+    // per-fault linear scans over outputs/DFFs would dominate the
+    // sampler on large universes.
+    let mut observable = vec![false; netlist.num_nets()];
+    for net in netlist.net_ids() {
+        observable[net.index()] = !netlist.fanout(net).is_empty();
+    }
+    for &out in netlist.outputs() {
+        observable[out.index()] = true;
+    }
+    for dff in netlist.dffs() {
+        observable[dff.d.index()] = true;
+    }
+    let mut faults: Vec<Fault> = universe
+        .faults()
+        .iter()
+        .copied()
+        .filter(|f| match f.site {
+            crate::fault::FaultSite::Stem(net) => observable[net.index()],
+            crate::fault::FaultSite::Pin { .. } => true,
+        })
+        .collect();
+    let mut rng = ScanRng::seed_from_u64(seed);
+    rng.shuffle(&mut faults);
+    faults
 }
 
 #[cfg(test)]

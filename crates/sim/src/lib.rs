@@ -13,7 +13,13 @@
 //! * [`FaultSimulator`] — golden/faulty response computation and
 //!   [`ErrorMap`] extraction over a
 //!   [`ScanView`](scan_netlist::ScanView), plus reproducible sampling
-//!   of detected faults (the paper's 500-fault campaigns).
+//!   of detected faults (the paper's 500-fault campaigns);
+//! * [`PpsfpSimulator`] — the 64-wide PPSFP campaign engine: cone-
+//!   limited word sweeps, fault dropping, and single-pass sampling
+//!   that keeps each detection's error map;
+//! * [`EventFaultSimulator`] — the event-driven reference oracle;
+//! * [`SimEngine`] — explicit engine selection, threaded through the
+//!   `scan-diagnosis` campaign entry points and the `scanbist` CLI.
 //!
 //! # Examples
 //!
@@ -49,6 +55,7 @@ mod event_sim;
 mod fault;
 mod fault_sim;
 mod pattern;
+mod ppsfp;
 mod response;
 mod sequential;
 mod simulator;
@@ -58,6 +65,7 @@ pub use error::PatternShapeError;
 pub use event_sim::EventFaultSimulator;
 pub use fault::{site_has_fanout, Fault, FaultSite, FaultUniverse};
 pub use fault_sim::FaultSimulator;
+pub use ppsfp::{PpsfpSimulator, SimEngine};
 pub use sequential::SequentialSimulator;
 pub use pattern::PatternSet;
 pub use response::{ErrorMap, ResponseMap};

@@ -5,10 +5,16 @@ use scan_netlist::BitSet;
 /// Bit-packed observed values: one row per observation position (scan
 /// cell or primary output, in [`ScanView`](scan_netlist::ScanView)
 /// order), 64 patterns per word.
+///
+/// Rows live in one flat row-major allocation: a fault simulator
+/// builds one map per candidate fault, so construction cost is on the
+/// campaign-preparation hot path and a per-row `Vec` would mean one
+/// heap allocation per observation position per fault.
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub struct ResponseMap {
     num_patterns: usize,
-    rows: Vec<Vec<u64>>,
+    num_positions: usize,
+    data: Vec<u64>,
 }
 
 impl ResponseMap {
@@ -17,14 +23,26 @@ impl ResponseMap {
     pub fn zeroed(positions: usize, num_patterns: usize) -> Self {
         ResponseMap {
             num_patterns,
-            rows: vec![vec![0u64; num_patterns.div_ceil(64)]; positions],
+            num_positions: positions,
+            data: vec![0u64; positions * num_patterns.div_ceil(64)],
         }
+    }
+
+    /// Words per row.
+    fn stride(&self) -> usize {
+        self.num_patterns.div_ceil(64)
+    }
+
+    /// One position's packed words.
+    fn row(&self, position: usize) -> &[u64] {
+        let stride = self.stride();
+        &self.data[position * stride..(position + 1) * stride]
     }
 
     /// Number of observation positions.
     #[must_use]
     pub fn num_positions(&self) -> usize {
-        self.rows.len()
+        self.num_positions
     }
 
     /// Number of patterns.
@@ -40,7 +58,7 @@ impl ResponseMap {
     /// Panics if indices are out of range.
     #[must_use]
     pub fn word(&self, position: usize, word: usize) -> u64 {
-        self.rows[position][word]
+        self.row(position)[word]
     }
 
     /// Sets the packed word for one position.
@@ -49,7 +67,9 @@ impl ResponseMap {
     ///
     /// Panics if indices are out of range.
     pub fn set_word(&mut self, position: usize, word: usize, value: u64) {
-        self.rows[position][word] = value;
+        let stride = self.stride();
+        assert!(position < self.num_positions && word < stride, "index out of range");
+        self.data[position * stride + word] = value;
     }
 
     /// The observed bit at (position, pattern).
@@ -60,7 +80,7 @@ impl ResponseMap {
     #[must_use]
     pub fn bit(&self, position: usize, pattern: usize) -> bool {
         assert!(pattern < self.num_patterns, "pattern out of range");
-        self.rows[position][pattern / 64] >> (pattern % 64) & 1 != 0
+        self.row(position)[pattern / 64] >> (pattern % 64) & 1 != 0
     }
 
     /// XORs this map against a reference, yielding the error map
@@ -73,17 +93,18 @@ impl ResponseMap {
     #[must_use]
     pub fn xor(&self, golden: &ResponseMap) -> ErrorMap {
         assert_eq!(self.num_patterns, golden.num_patterns, "pattern counts differ");
-        assert_eq!(self.rows.len(), golden.rows.len(), "position counts differ");
-        let rows = self
-            .rows
+        assert_eq!(self.num_positions, golden.num_positions, "position counts differ");
+        let data = self
+            .data
             .iter()
-            .zip(&golden.rows)
-            .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x ^ y).collect())
+            .zip(&golden.data)
+            .map(|(x, y)| x ^ y)
             .collect();
         ErrorMap {
             inner: ResponseMap {
                 num_patterns: self.num_patterns,
-                rows,
+                num_positions: self.num_positions,
+                data,
             },
         }
     }
@@ -128,8 +149,8 @@ impl ErrorMap {
         let mut inner = ResponseMap::zeroed(positions, num_patterns);
         for (pos, pat) in bits {
             assert!(pat < num_patterns, "pattern out of range");
-            let w = inner.rows[pos][pat / 64] | 1 << (pat % 64);
-            inner.rows[pos][pat / 64] = w;
+            let w = inner.word(pos, pat / 64) | 1 << (pat % 64);
+            inner.set_word(pos, pat / 64, w);
         }
         ErrorMap { inner }
     }
@@ -159,18 +180,27 @@ impl ErrorMap {
     /// Returns `true` if the fault produced at least one error.
     #[must_use]
     pub fn is_detected(&self) -> bool {
-        self.inner.rows.iter().flatten().any(|&w| w != 0)
+        self.inner.data.iter().any(|&w| w != 0)
     }
 
     /// Total number of error bits.
     #[must_use]
     pub fn num_error_bits(&self) -> usize {
         self.inner
-            .rows
+            .data
             .iter()
-            .flatten()
             .map(|w| w.count_ones() as usize)
             .sum()
+    }
+
+    /// Rows as `(position, packed words)`, skipping nothing.
+    fn rows(&self) -> impl Iterator<Item = (usize, &[u64])> + '_ {
+        // `max(1)` keeps `chunks_exact` well-defined for degenerate
+        // zero-pattern maps (which hold no data at all).
+        self.inner
+            .data
+            .chunks_exact(self.inner.stride().max(1))
+            .enumerate()
     }
 
     /// The failing positions: every observation point that captured at
@@ -178,7 +208,7 @@ impl ErrorMap {
     #[must_use]
     pub fn failing_positions(&self) -> BitSet {
         let mut set = BitSet::new(self.num_positions());
-        for (pos, row) in self.inner.rows.iter().enumerate() {
+        for (pos, row) in self.rows() {
             if row.iter().any(|&w| w != 0) {
                 set.insert(pos);
             }
@@ -189,10 +219,28 @@ impl ErrorMap {
     /// Iterates over all error bits as `(position, pattern)` pairs, in
     /// position-major order.
     pub fn iter_bits(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.inner.rows.iter().enumerate().flat_map(|(pos, row)| {
+        self.rows().flat_map(|(pos, row)| {
             row.iter().enumerate().flat_map(move |(w, &word)| {
                 BitLanes(word).map(move |lane| (pos, w * 64 + lane))
             })
+        })
+    }
+
+    /// Iterates over the nonzero packed error words as
+    /// `(position, word_index, bits)` triples, in position-major order:
+    /// bit `l` of `bits` is the error bit of pattern
+    /// `word_index * 64 + l`.
+    ///
+    /// This is the word-level feed for fused MISR compaction
+    /// (`DiagnosisPlan::analyze_packed` in `scan-diagnosis`): signature
+    /// accumulation consumes packed words straight from the map, with
+    /// no intermediate per-bit pair stream.
+    pub fn iter_words(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.rows().flat_map(|(pos, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|(_, &word)| word != 0)
+                .map(move |(w, &word)| (pos, w, word))
         })
     }
 
@@ -202,7 +250,8 @@ impl ErrorMap {
     ///
     /// Panics if `position` is out of range.
     pub fn errors_at(&self, position: usize) -> impl Iterator<Item = usize> + '_ {
-        self.inner.rows[position]
+        self.inner
+            .row(position)
             .iter()
             .enumerate()
             .flat_map(|(w, &word)| BitLanes(word).map(move |lane| w * 64 + lane))
@@ -253,6 +302,21 @@ mod tests {
         assert_eq!(err.errors_at(4).collect::<Vec<_>>(), vec![63, 64]);
         assert!(err.bit(7, 99));
         assert!(!err.bit(7, 98));
+    }
+
+    #[test]
+    fn iter_words_skips_zero_words() {
+        let err = ErrorMap::from_bits(3, 130, vec![(0, 0), (0, 65), (2, 129)]);
+        assert_eq!(
+            err.iter_words().collect::<Vec<_>>(),
+            vec![(0, 0, 1), (0, 1, 2), (2, 2, 2)]
+        );
+        // Expanding lanes reproduces iter_bits exactly.
+        let expanded: Vec<(usize, usize)> = err
+            .iter_words()
+            .flat_map(|(pos, w, word)| BitLanes(word).map(move |lane| (pos, w * 64 + lane)))
+            .collect();
+        assert_eq!(expanded, err.iter_bits().collect::<Vec<_>>());
     }
 
     #[test]

@@ -38,6 +38,22 @@ echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --aud
     "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json" \
     "$SMOKE_DIR/profile.folded" "$SMOKE_DIR/audit.ndjson"
 
+echo "==> engine-diff smoke (bitpar vs event audits must be identical)"
+./target/release/scanbist \
+    --audit-out "$SMOKE_DIR/audit_bitpar.ndjson" \
+    diagnose s298 --patterns 64 --faults 30 --engine bitpar \
+    > /dev/null 2>> "$SMOKE_DIR/summary.txt"
+./target/release/scanbist \
+    --audit-out "$SMOKE_DIR/audit_event.ndjson" \
+    diagnose s298 --patterns 64 --faults 30 --engine event \
+    > /dev/null 2>> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check \
+    "$SMOKE_DIR/audit_bitpar.ndjson" "$SMOKE_DIR/audit_event.ndjson"
+cmp -s "$SMOKE_DIR/audit_bitpar.ndjson" "$SMOKE_DIR/audit_event.ndjson" || {
+    echo "engine audits diverged: the bit-parallel and event-driven"
+    echo "engines produced different campaign audit trails"; exit 1;
+}
+
 echo "==> noisy-campaign smoke (scanbist noise --audit-out)"
 ./target/release/scanbist \
     --json --audit-out "$SMOKE_DIR/noise_audit.ndjson" \
