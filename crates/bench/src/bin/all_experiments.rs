@@ -15,7 +15,13 @@
 //! orchestrator records its own spans and also forwards matching flags
 //! to the observability-aware children ([`OBS_AWARE`]), which then drop
 //! `trace_<name>.ndjson` / `metrics_<name>.json` next to their `.txt`
-//! results in `out_dir`.
+//! results in `out_dir`. The orchestrator's trace context is handed to
+//! each child via `SCANBIST_TRACE_ID` / `SCANBIST_PARENT_SPAN`, so the
+//! per-child NDJSON streams join into one cross-process trace tree
+//! (`obs-check --join results/trace_*.ndjson`).
+//!
+//! `--only <a,b,…>` restricts the run to a comma-separated subset of
+//! the experiment names — handy for smoke tests and trace-join checks.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -69,9 +75,48 @@ fn main() {
     let forward_trace = scan_obs::registry::trace_enabled();
     let forward_metrics = scan_obs::registry::metrics_enabled();
     let forward_progress = scan_obs::registry::progress_enabled();
-    let out_dir = rest
-        .first()
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let context = scan_obs::context::current();
+    let mut out_dir = PathBuf::from("results");
+    let mut only: Option<Vec<String>> = None;
+    let mut rest_iter = rest.iter();
+    while let Some(arg) = rest_iter.next() {
+        match arg.as_str() {
+            "--only" => {
+                let Some(list) = rest_iter.next() else {
+                    eprintln!("error: --only needs a comma-separated experiment list");
+                    std::process::exit(2);
+                };
+                only = Some(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(ToOwned::to_owned)
+                        .collect(),
+                );
+            }
+            other => out_dir = PathBuf::from(other),
+        }
+    }
+    let experiments: Vec<&str> = match &only {
+        Some(names) => {
+            for name in names {
+                if !EXPERIMENTS.contains(&name.as_str()) {
+                    eprintln!("error: unknown experiment `{name}` in --only");
+                    std::process::exit(2);
+                }
+            }
+            EXPERIMENTS
+                .iter()
+                .copied()
+                .filter(|e| names.iter().any(|n| n == e))
+                .collect()
+        }
+        None => EXPERIMENTS.to_vec(),
+    };
+    if experiments.is_empty() {
+        eprintln!("error: --only selected no experiments");
+        std::process::exit(2);
+    }
     std::fs::create_dir_all(&out_dir).expect("create results directory");
     let exe_dir = std::env::current_exe()
         .expect("own path")
@@ -80,14 +125,14 @@ fn main() {
         .to_path_buf();
     let workers = std::thread::available_parallelism()
         .map_or(1, |n| n.get() / 2)
-        .clamp(1, EXPERIMENTS.len());
+        .clamp(1, experiments.len());
     eprintln!(
         "running {} experiments on {workers} worker(s)…",
-        EXPERIMENTS.len()
+        experiments.len()
     );
 
     let outcomes: Vec<Mutex<Option<Outcome>>> =
-        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+        experiments.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -95,11 +140,11 @@ fn main() {
             scope.spawn(|| {
                 loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(name) = EXPERIMENTS.get(index) else {
+                let Some(name) = experiments.get(index) else {
                     break;
                 };
                 eprintln!("running {name}…");
-                let _span = scan_obs::span!("experiment[{name}]");
+                let _span = scan_obs::span!("experiment[{}]", name);
                 let mut command = Command::new(exe_dir.join(name));
                 if OBS_AWARE.contains(name) {
                     if forward_trace {
@@ -112,6 +157,14 @@ fn main() {
                     }
                     if forward_progress {
                         command.arg("--progress");
+                    }
+                    if let Some(ctx) = &context {
+                        // The child's parent span is the orchestrator
+                        // span wrapping this subprocess, so its stream
+                        // joins the cross-process trace tree there.
+                        for (key, value) in ctx.child_env(&format!("experiment[{name}]")) {
+                            command.env(key, value);
+                        }
                     }
                 }
                 let outcome = match command.output() {
@@ -134,7 +187,7 @@ fn main() {
                 };
                 *outcomes[index].lock().expect("outcome slot") = Some(outcome);
                 let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                scan_obs::progress::tick("experiments", done, EXPERIMENTS.len());
+                scan_obs::progress::tick("experiments", done, experiments.len());
                 }
                 // Fold this worker's shard before the scope join: the
                 // TLS-drop merge can race the parent's export snapshot.
@@ -144,7 +197,7 @@ fn main() {
     });
 
     let mut failures = Vec::new();
-    for (name, slot) in EXPERIMENTS.iter().zip(&outcomes) {
+    for (name, slot) in experiments.iter().zip(&outcomes) {
         match slot.lock().expect("outcome slot").take() {
             Some(Outcome::Ok(path)) => println!("{name}: ok → {}", path.display()),
             Some(Outcome::Failed(why)) => {
@@ -159,7 +212,7 @@ fn main() {
     if failures.is_empty() {
         println!(
             "all {} experiments completed into {}",
-            EXPERIMENTS.len(),
+            experiments.len(),
             out_dir.display()
         );
     } else {

@@ -2,13 +2,18 @@
 //!
 //! Every table/figure binary accepts the same flags the `scanbist` CLI
 //! does — `--trace`, `--trace-out <path>`, `--metrics-out <path>`,
-//! `--profile`, `--profile-out <path>`, and `--progress` — parsed here
-//! from the process arguments before the binary's own positionals.
-//! [`ObsSession::start`] installs the configuration process-wide;
-//! [`ObsSession::finish`] exports the NDJSON stream / metrics snapshot
-//! / collapsed-stack profile and prints the span-tree summary. With no
-//! flags given, observability stays disabled and the binary's output
-//! is byte-identical to an uninstrumented build.
+//! `--profile`, `--profile-out <path>`, `--progress`, and
+//! `--serve-metrics <addr>` — parsed here from the process arguments
+//! before the binary's own positionals. [`ObsSession::start`] installs
+//! the configuration process-wide, adopts the cross-process trace
+//! context from `SCANBIST_TRACE_ID` / `SCANBIST_PARENT_SPAN` when one
+//! is handed down (see `docs/OBSERVABILITY.md`), and starts the live
+//! telemetry runtime (background sampler and `/metrics` endpoint) when
+//! asked; [`ObsSession::finish`] stops telemetry, then exports the
+//! NDJSON stream / metrics snapshot / collapsed-stack profile and
+//! prints the span-tree summary. With no flags given, observability
+//! stays disabled and the binary's output is byte-identical to an
+//! uninstrumented build.
 //!
 //! `--help` / `-h` is also handled here, uniformly for all experiment
 //! binaries: usage goes to *stderr* (stdout is reserved for the
@@ -23,9 +28,12 @@ pub fn usage(binary: &str) -> String {
     format!(
         "usage: {binary} [ARGS] [--trace] [--trace-out <path>] [--metrics-out <path>]\n\
          \x20          [--profile] [--profile-out <path>] [--progress]\n\
+         \x20          [--serve-metrics <addr>]\n\
          Experiment binary from the scan-BIST workspace. The table/figure payload\n\
          goes to stdout; diagnostics, progress, and observability summaries go to\n\
-         stderr. See EXPERIMENTS.md for the binary's own arguments."
+         stderr. --serve-metrics serves live /metrics (Prometheus text),\n\
+         /metrics.json, and /healthz on <addr> for the run's duration.\n\
+         See EXPERIMENTS.md for the binary's own arguments."
     )
 }
 
@@ -33,13 +41,16 @@ pub fn usage(binary: &str) -> String {
 #[must_use = "call finish() so exports are written"]
 pub struct ObsSession {
     config: ObsConfig,
+    telemetry: scan_obs::Telemetry,
 }
 
 impl ObsSession {
     /// Parses observability flags out of `std::env::args()`, installs
-    /// the resulting configuration, and returns the session plus the
-    /// remaining (non-observability) arguments in order. `binary` names
-    /// the default trace file, `trace_<binary>.ndjson`.
+    /// the resulting configuration, adopts or creates the cross-process
+    /// trace context, starts live telemetry when requested, and returns
+    /// the session plus the remaining (non-observability) arguments in
+    /// order. `binary` names the default trace file,
+    /// `trace_<binary>.ndjson`, and the trace context's process.
     /// `--help` / `-h` anywhere in the arguments prints the shared
     /// usage text to stderr and exits 0 before any work happens.
     pub fn start(binary: &str) -> (ObsSession, Vec<String>) {
@@ -49,12 +60,24 @@ impl ObsSession {
             std::process::exit(0);
         }
         scan_obs::init(&config);
-        (ObsSession { config }, rest)
+        if config.is_enabled() {
+            scan_obs::context::init_from_env(binary);
+        }
+        let telemetry = match scan_obs::start_telemetry(&config) {
+            Ok(telemetry) => telemetry,
+            Err(e) => {
+                eprintln!("error: could not start live telemetry: {e}");
+                std::process::exit(2);
+            }
+        };
+        (ObsSession { config, telemetry }, rest)
     }
 
-    /// Stops recording and writes the requested exports. Failures are
-    /// reported on stderr but never fail the experiment itself.
+    /// Stops live telemetry and recording, then writes the requested
+    /// exports. Failures are reported on stderr but never fail the
+    /// experiment itself.
     pub fn finish(self) {
+        self.telemetry.stop();
         if let Err(e) = scan_obs::finish(&self.config) {
             eprintln!("warning: could not write observability exports: {e}");
         }
@@ -101,6 +124,12 @@ pub fn parse_env_args(
                 }
             }
             "--progress" => config.progress = true,
+            "--serve-metrics" => {
+                config.serve_addr = args.next();
+                if config.serve_addr.is_none() {
+                    eprintln!("warning: --serve-metrics needs an address; ignoring");
+                }
+            }
             _ => rest.push(arg),
         }
     }
@@ -164,6 +193,17 @@ mod tests {
         let (config, _) = split("fig4", &["--profile-out", "p.folded"]);
         assert!(config.profile);
         assert_eq!(config.profile_path.as_deref(), Some("p.folded".as_ref()));
+    }
+
+    #[test]
+    fn serve_metrics_flag_sets_the_address_and_sampling() {
+        let (config, rest) = split("table1", &["--serve-metrics", "127.0.0.1:0", "out"]);
+        assert_eq!(config.serve_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(config.sampling() && config.is_enabled());
+        assert_eq!(rest, vec!["out".to_owned()]);
+
+        let (config, _) = split("table1", &["--serve-metrics"]);
+        assert!(config.serve_addr.is_none() && !config.is_enabled());
     }
 
     #[test]

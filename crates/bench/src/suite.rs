@@ -48,21 +48,24 @@ pub struct SuiteConfig {
 }
 
 impl SuiteConfig {
-    /// The default sizing for a suite: 5 timed repeats (3 in quick
-    /// mode) after one warmup.
+    /// The default sizing for a suite: 9 timed repeats (3 in quick
+    /// mode) after one warmup. Nine repeats give the `Q3 + 1.5·IQR`
+    /// outlier gate enough samples that one scheduler hiccup neither
+    /// poisons the median nor (as five repeats regularly did) lands
+    /// inside the quartiles and widens the cut itself.
     #[must_use]
     pub fn new(suite: &str, quick: bool) -> Self {
         SuiteConfig {
             suite: suite.to_owned(),
             quick,
-            repeats: if quick { 3 } else { 5 },
+            repeats: if quick { 3 } else { 9 },
             warmup: 1,
         }
     }
 }
 
 /// Robust summary of one kernel's timed samples.
-#[derive(Clone, Copy, Eq, PartialEq, Debug)]
+#[derive(Clone, Eq, PartialEq, Debug)]
 pub struct KernelStats {
     /// Median of the retained samples, nanoseconds.
     pub median_ns: u64,
@@ -75,6 +78,12 @@ pub struct KernelStats {
     pub samples: u64,
     /// Samples rejected as outliers (above `Q3 + 1.5·IQR`).
     pub dropped: u64,
+    /// The rejection cutoff the gate used, `Q3 + 1.5·IQR` nanoseconds —
+    /// recorded so a baseline documents *why* samples were dropped.
+    pub cutoff_ns: u64,
+    /// The rejected samples themselves, ascending nanoseconds. Empty
+    /// when nothing was dropped.
+    pub dropped_ns: Vec<u64>,
 }
 
 /// Summarizes raw per-repeat wall times: computes the IQR over all
@@ -93,14 +102,17 @@ pub fn stats_from_samples(samples_ns: &[u64]) -> KernelStats {
     let q3 = percentile(&sorted, 75);
     let iqr = q3 - q1;
     let cutoff = q3.saturating_add(iqr.saturating_mul(3) / 2);
-    let retained: Vec<u64> = sorted.iter().copied().filter(|&s| s <= cutoff).collect();
+    let (retained, dropped_ns): (Vec<u64>, Vec<u64>) =
+        sorted.iter().copied().partition(|&s| s <= cutoff);
     // Q3 itself always survives the cut, so `retained` is non-empty.
     KernelStats {
         median_ns: percentile(&retained, 50),
         p95_ns: percentile(&retained, 95),
         iqr_ns: iqr,
         samples: retained.len() as u64,
-        dropped: (sorted.len() - retained.len()) as u64,
+        dropped: dropped_ns.len() as u64,
+        cutoff_ns: cutoff,
+        dropped_ns,
     }
 }
 
@@ -141,10 +153,16 @@ impl SuiteResult {
             if i > 0 {
                 out.push(',');
             }
+            let dropped_ns = k
+                .dropped_ns
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
             let _ = write!(
                 out,
-                r#""{name}":{{"median_ns":{},"p95_ns":{},"iqr_ns":{},"samples":{},"dropped":{}}}"#,
-                k.median_ns, k.p95_ns, k.iqr_ns, k.samples, k.dropped
+                r#""{name}":{{"median_ns":{},"p95_ns":{},"iqr_ns":{},"samples":{},"dropped":{},"cutoff_ns":{},"dropped_ns":[{dropped_ns}]}}"#,
+                k.median_ns, k.p95_ns, k.iqr_ns, k.samples, k.dropped, k.cutoff_ns
             );
         }
         out.push_str("}}\n");
@@ -188,6 +206,20 @@ impl SuiteResult {
             .ok_or("bench baseline missing \"kernels\" object")?;
         let mut kernels = BTreeMap::new();
         for (name, k) in kernel_values {
+            // `cutoff_ns` / `dropped_ns` arrived with the drop-reason
+            // reporting; older baselines lack them, so they default.
+            let cutoff_ns = num(k, "cutoff_ns").unwrap_or(0);
+            let dropped_ns = k
+                .get("dropped_ns")
+                .and_then(Value::as_array)
+                .map(|values| {
+                    values
+                        .iter()
+                        .filter_map(Value::as_f64)
+                        .map(|x| x.max(0.0) as u64)
+                        .collect()
+                })
+                .unwrap_or_default();
             kernels.insert(
                 name.clone(),
                 KernelStats {
@@ -196,6 +228,8 @@ impl SuiteResult {
                     iqr_ns: num(k, "iqr_ns")?,
                     samples: num(k, "samples")?,
                     dropped: num(k, "dropped")?,
+                    cutoff_ns,
+                    dropped_ns,
                 },
             );
         }
@@ -519,6 +553,8 @@ mod tests {
             iqr_ns: 5,
             samples: 5,
             dropped: 0,
+            cutoff_ns: median + 20,
+            dropped_ns: Vec::new(),
         }
     }
 
@@ -546,6 +582,10 @@ mod tests {
         assert_eq!(s.samples, 9);
         assert!(s.median_ns <= 103, "median {} polluted", s.median_ns);
         assert!(s.p95_ns <= 103, "p95 {} polluted", s.p95_ns);
+        // The gate documents its decision: the cutoff it applied and
+        // the samples it rejected.
+        assert!(s.cutoff_ns < 10_000, "cutoff {} let the hiccup in", s.cutoff_ns);
+        assert_eq!(s.dropped_ns, vec![10_000]);
     }
 
     #[test]

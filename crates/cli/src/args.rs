@@ -135,6 +135,17 @@ pub enum Command {
         /// Path to the NDJSON audit trace.
         path: String,
     },
+    /// `scanbist report <trace.ndjson>... [options]` — render NDJSON
+    /// trace/metrics/audit streams into one self-contained static HTML
+    /// dashboard (see `docs/OBSERVABILITY.md`).
+    Report {
+        /// NDJSON trace / metrics-snapshot files to render, in order.
+        files: Vec<String>,
+        /// Output HTML path (`report.html` by default).
+        out: String,
+        /// Dashboard title (defaults to the first input's name).
+        title: Option<String>,
+    },
     /// `scanbist lint [options]` — run the vendored static-analysis
     /// pass over the workspace sources (see `docs/LINTS.md`).
     Lint {
@@ -214,8 +225,9 @@ pub struct Invocation {
 
 /// Parses the full argument list including global flags (`--json`,
 /// `--trace`, `--trace-out <path>`, `--metrics-out <path>`,
-/// `--profile`, `--profile-out <path>`, `--audit-out <path>`, and
-/// `--progress`, all of which appear before the subcommand).
+/// `--profile`, `--profile-out <path>`, `--audit-out <path>`,
+/// `--progress`, and `--serve-metrics <addr>`, all of which appear
+/// before the subcommand).
 ///
 /// # Errors
 ///
@@ -270,6 +282,11 @@ where
             Some("--progress") => {
                 obs.progress = true;
                 rest.remove(0);
+            }
+            Some("--serve-metrics") => {
+                rest.remove(0);
+                let addr = take_front("--serve-metrics", &mut rest)?;
+                obs.serve_addr = Some(addr);
             }
             _ => break,
         }
@@ -338,6 +355,7 @@ where
         "soc" => parse_soc(words),
         "noise" => parse_noise(words),
         "bench" => parse_bench(words),
+        "report" => parse_report(words),
         "lint" => parse_lint(words),
         "explain" => {
             let path = take_value("explain", &mut words)?.to_owned();
@@ -526,6 +544,29 @@ where
     })
 }
 
+fn parse_report<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut files = Vec::new();
+    let mut out = "report.html".to_owned();
+    let mut title = None;
+    while let Some(word) = words.next() {
+        match word {
+            "--out" => take_value(word, &mut words)?.clone_into(&mut out),
+            "--title" => title = Some(take_value(word, &mut words)?.to_owned()),
+            flag if flag.starts_with("--") => return Err(unknown_flag(flag)),
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err(ParseArgsError(
+            "`report` requires at least one NDJSON input file".into(),
+        ));
+    }
+    Ok(Command::Report { files, out, title })
+}
+
 fn parse_lint<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
 where
     I: Iterator<Item = &'a str>,
@@ -586,6 +627,10 @@ GLOBAL FLAGS (before the command):
   --audit-out <path>    write a per-fault diagnosis audit trace
                         (NDJSON) during `diagnose`/`noise` campaigns
   --progress            periodic per-shard progress lines on stderr
+  --serve-metrics <addr>  serve live /metrics (Prometheus text),
+                        /metrics.json, and /healthz over HTTP on
+                        <addr> (e.g. 127.0.0.1:0) for the run's
+                        duration; implies background sampling
 
 COMMANDS:
   scanbist parse <file.bench>
@@ -612,6 +657,10 @@ COMMANDS:
   scanbist bench [--suite NAME] [--quick] [--repeats N] [--warmup N]
                     [--out FILE] [--baseline FILE] [--threshold FRAC]
                     [--compare FILE]   (file-vs-file baseline check)
+  scanbist report <trace.ndjson>... [--out FILE] [--title TEXT]
+                    (render NDJSON traces/metrics/audits into one
+                    self-contained HTML dashboard — span waterfall,
+                    time-series sparklines, counters)
   scanbist explain <audit.ndjson>     (summarize an audit trace)
   scanbist lint [--root DIR] [--config FILE] [--out FILE] [--deny]
                     (vendored static-analysis pass; --deny exits
@@ -903,6 +952,48 @@ mod tests {
         );
         assert!(parse_args(["explain"]).is_err());
         assert!(parse_args(["explain", "a", "b"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_metrics_flag() {
+        let inv = parse_invocation(["--serve-metrics", "127.0.0.1:0", "stats", "s27"]).unwrap();
+        assert_eq!(inv.obs.serve_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(inv.obs.sampling() && inv.obs.is_enabled());
+
+        let plain = parse_invocation(["stats", "s27"]).unwrap();
+        assert!(plain.obs.serve_addr.is_none() && !plain.obs.sampling());
+
+        assert!(parse_invocation(["--serve-metrics"]).is_err());
+    }
+
+    #[test]
+    fn parses_report_command() {
+        let cmd = parse_args(["report", "a.ndjson"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                files: vec!["a.ndjson".into()],
+                out: "report.html".into(),
+                title: None,
+            }
+        );
+
+        let cmd = parse_args([
+            "report", "a.ndjson", "b.ndjson", "--out", "dash.html", "--title", "Campaign",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                files: vec!["a.ndjson".into(), "b.ndjson".into()],
+                out: "dash.html".into(),
+                title: Some("Campaign".into()),
+            }
+        );
+
+        assert!(parse_args(["report"]).is_err());
+        assert!(parse_args(["report", "a.ndjson", "--bogus"]).is_err());
+        assert!(parse_args(["report", "--out", "x.html"]).is_err());
     }
 
     #[test]

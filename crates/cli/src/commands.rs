@@ -320,7 +320,7 @@ fn execute<W: Write>(
                 let trail = campaign
                     .audit_robust(*scheme, &noise, &policy)
                     .map_err(|e| e.to_string())?;
-                scan_obs::export::write_file(path, &trail.to_ndjson())
+                scan_obs::export::write_ndjson(path, &trail.to_ndjson())
                     .map_err(|e| e.to_string())?;
                 eprintln!(
                     "audit: wrote {} robust fault record(s) to {}",
@@ -420,10 +420,22 @@ fn execute<W: Write>(
                 config.warmup = *w;
             }
             let result = scan_bench::suite::run_suite(&config, |name, stats| {
-                eprintln!(
-                    "bench: {name}: median {} ns ({} sample(s), {} dropped)",
-                    stats.median_ns, stats.samples, stats.dropped
-                );
+                if stats.dropped > 0 {
+                    eprintln!(
+                        "bench: {name}: median {} ns ({} sample(s), {} dropped: \
+                         {:?} ns above the Q3+1.5·IQR cutoff {} ns)",
+                        stats.median_ns,
+                        stats.samples,
+                        stats.dropped,
+                        stats.dropped_ns,
+                        stats.cutoff_ns
+                    );
+                } else {
+                    eprintln!(
+                        "bench: {name}: median {} ns ({} sample(s), 0 dropped)",
+                        stats.median_ns, stats.samples
+                    );
+                }
             });
             let document = result.to_json();
             let out_path = out_file
@@ -455,6 +467,11 @@ fn execute<W: Write>(
             write!(out, "{summary}").map_err(io_err)?;
             Ok(())
         }
+        Command::Report {
+            files,
+            out: out_path,
+            title,
+        } => run_report(files, out_path, title.as_deref()),
         Command::Lint {
             root,
             config,
@@ -462,6 +479,29 @@ fn execute<W: Write>(
             deny,
         } => run_lint(root, config.as_deref(), report_out.as_deref(), *deny),
     }
+}
+
+/// Renders NDJSON trace/metrics/audit streams into one self-contained
+/// HTML dashboard. The dashboard goes to a file and the one-line
+/// summary to stderr — stdout stays reserved for machine payloads.
+fn run_report(files: &[String], out_path: &str, title: Option<&str>) -> Result<(), String> {
+    let mut inputs = Vec::with_capacity(files.len());
+    for path in files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let label = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_owned();
+        inputs.push(scan_obs::report::ReportInput { label, text });
+    }
+    let default_title = format!("scanbist — {}", inputs[0].label);
+    let html = scan_obs::report::render(&inputs, title.unwrap_or(&default_title))?;
+    scan_obs::export::write_file(std::path::Path::new(out_path), &html)
+        .map_err(|e| e.to_string())?;
+    eprintln!("report: rendered {} stream(s) to {out_path}", inputs.len());
+    Ok(())
 }
 
 /// Runs the vendored static-analysis pass (same engine as the
@@ -505,7 +545,7 @@ fn write_audit(
     path: &std::path::Path,
 ) -> Result<(), String> {
     let trail = campaign.audit(scheme).map_err(|e| e.to_string())?;
-    scan_obs::export::write_file(path, &trail.to_ndjson()).map_err(|e| e.to_string())?;
+    scan_obs::export::write_ndjson(path, &trail.to_ndjson()).map_err(|e| e.to_string())?;
     eprintln!(
         "audit: wrote {} fault record(s) to {}",
         trail.faults.len(),
@@ -999,6 +1039,34 @@ mod tests {
         // The file it just wrote is its own fixed point under compare.
         let (code, text) = run_to_string(&["bench", "--compare", &out_str, "--baseline", &out_str]);
         assert_eq!(code, 0, "output: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_renders_html_dashboard() {
+        let dir = std::env::temp_dir().join("scanbist-report-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.ndjson");
+        std::fs::write(
+            &trace,
+            concat!(
+                "{\"type\":\"meta\",\"version\":1,\"spans\":1,\"counters\":1,\"histograms\":0}\n",
+                "{\"type\":\"span\",\"path\":\"campaign\",\"thread\":0,\"start_ns\":0,\"end_ns\":10,\"dur_ns\":10}\n",
+                "{\"type\":\"counter\",\"name\":\"faults\",\"value\":5}\n",
+            ),
+        )
+        .unwrap();
+        let out = dir.join("dash.html");
+        let out_str = out.to_str().unwrap().to_owned();
+        let (code, text) = run_to_string(&["report", trace.to_str().unwrap(), "--out", &out_str]);
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.is_empty(), "stdout must stay clean: {text}");
+        let html = std::fs::read_to_string(&out).unwrap();
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("campaign"), "span path in dashboard");
+
+        let (code, _) = run_to_string(&["report", "/nonexistent/t.ndjson"]);
+        assert_eq!(code, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,7 +15,18 @@ fn main() {
         }
     };
     scan_obs::init(&invocation.obs);
+    if invocation.obs.is_enabled() {
+        scan_obs::context::init_from_env("scanbist");
+    }
+    let telemetry = match scan_obs::start_telemetry(&invocation.obs) {
+        Ok(telemetry) => telemetry,
+        Err(e) => {
+            eprintln!("error: could not start live telemetry: {e}");
+            std::process::exit(2);
+        }
+    };
     let code = run_invocation(&invocation, &mut std::io::stdout().lock());
+    telemetry.stop();
     if let Err(e) = scan_obs::finish(&invocation.obs) {
         eprintln!("warning: could not write observability exports: {e}");
     }

@@ -22,6 +22,7 @@
 //! | L006 | `stdout-cleanliness` | stdout only in `crates/cli` + experiment bins |
 //! | L007 | `nonexhaustive-public-errors` | pub error enums are `#[non_exhaustive]` |
 //! | L008 | `no-silent-empty-intersection` | call `diagnose_checked`, not `diagnose` |
+//! | L009 | `no-blocking-io-inside-span` | no socket/file writes under a live span |
 //!
 //! Suppression is always explicit and always justified: a per-rule
 //! path allowance in the checked-in `lint.toml` (with a mandatory

@@ -1,4 +1,4 @@
-//! The rule set: eight workspace-contract lints over the token stream
+//! The rule set: nine workspace-contract lints over the token stream
 //! (Rust sources) and a line-oriented manifest check (`Cargo.toml`).
 //!
 //! Each rule has an id, short name, severity, and fix-hint; findings
@@ -35,6 +35,18 @@ const STDOUT_PATHS: &[&str] = &["crates/cli/", "crates/bench/src/bin/"];
 /// The crate that defines `diagnose_checked`; direct `diagnose()`
 /// calls are its internal business only.
 const DIAGNOSE_CRATE: &str = "crates/core/";
+
+/// Crates where a live span guard must not cover blocking I/O: the
+/// deterministic hot paths plus the observability layer itself. A
+/// span that blocks on a socket or file charges the wait to whatever
+/// it wraps, poisoning every profile and baseline derived from it.
+const SPAN_IO_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/sim/",
+    "crates/bist/",
+    "crates/soc/",
+    "crates/obs/",
+];
 
 fn under(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
@@ -125,7 +137,7 @@ pub fn inline_allows(file: &str, tokens: &[Token]) -> (Vec<InlineAllow>, Vec<Fin
     (allows, malformed)
 }
 
-/// Runs all token-level rules (L002–L008) over one Rust file,
+/// Runs all token-level rules (L002–L009) over one Rust file,
 /// returning raw findings plus the file's `unsafe` inventory.
 #[must_use]
 pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
@@ -274,7 +286,161 @@ pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
             _ => {}
         }
     }
+    if under(file, SPAN_IO_CRATES) {
+        findings.extend(check_span_blocking_io(file, &sig));
+    }
     (findings, unsafe_lines)
+}
+
+/// L009 — `no-blocking-io-inside-span`: within [`SPAN_IO_CRATES`], no
+/// `TcpStream` use, `File::create`/`File::open`, `fs::write`,
+/// `OpenOptions`, or `.write_all` call may sit between a span's open
+/// and its drop. Span liveness is tracked lexically: a guard bound by
+/// `span!(…)` / `span::enter(…)` / `span::enter_fmt(…)` lives until
+/// its enclosing block closes. Blocking I/O propagates one level
+/// through file-local helpers: a function whose signature or body
+/// mentions a blocking token is "dirty", and calling it under a live
+/// span is also a finding — factoring the write into a helper does
+/// not launder the wait out of the span.
+fn check_span_blocking_io(file: &str, sig: &[&Token]) -> Vec<Finding> {
+    let dirty = dirty_functions(sig);
+    let mut findings = Vec::new();
+    let mut depth = 0usize;
+    // Brace depths at which a span guard was bound; the guard dies
+    // when the depth drops back below its binding depth.
+    let mut live: Vec<usize> = Vec::new();
+    for (i, token) in sig.iter().enumerate() {
+        if token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while live.last().is_some_and(|&d| d > depth) {
+                live.pop();
+            }
+        }
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let opens_span = (token.is_ident("span")
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('!')))
+            || ((token.is_ident("enter") || token.is_ident("enter_fmt"))
+                && i >= 3
+                && sig[i - 1].is_punct(':')
+                && sig[i - 2].is_punct(':')
+                && sig[i - 3].is_ident("span"));
+        if opens_span {
+            live.push(depth);
+            continue;
+        }
+        if live.is_empty() {
+            continue;
+        }
+        if blocking_io_token(sig, i) {
+            findings.push(finding(
+                "L009",
+                "no-blocking-io-inside-span",
+                file,
+                token.line,
+                token.col,
+                format!(
+                    "`{}` while a span guard is live — the span's timing absorbs \
+                     the blocking wait",
+                    token.text
+                ),
+                "drop the span guard before the I/O, or move the write out of the \
+                 instrumented region; suppress with a reason only if the span \
+                 deliberately measures the I/O itself",
+            ));
+        } else if dirty.contains(&token.text.as_str())
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !(i > 0 && sig[i - 1].is_ident("fn"))
+        {
+            findings.push(finding(
+                "L009",
+                "no-blocking-io-inside-span",
+                file,
+                token.line,
+                token.col,
+                format!(
+                    "`{}(…)` while a span guard is live — the callee performs \
+                     blocking I/O, so the span's timing absorbs the wait",
+                    token.text
+                ),
+                "drop the span guard before the call, or move the I/O out of the \
+                 instrumented region; suppress with a reason only if the span \
+                 deliberately measures the I/O itself",
+            ));
+        }
+    }
+    findings
+}
+
+/// True when the ident at `i` is one of L009's blocking-I/O tokens:
+/// `TcpStream`, `OpenOptions`, `File::create`/`File::open`,
+/// `fs::write`/`fs::write_all`, or a `.write_all` method call.
+fn blocking_io_token(sig: &[&Token], i: usize) -> bool {
+    match sig[i].text.as_str() {
+        "TcpStream" | "OpenOptions" => true,
+        "File" => {
+            path_sep_follows(sig, i)
+                && sig
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("create") || t.is_ident("open"))
+        }
+        "fs" => {
+            path_sep_follows(sig, i)
+                && sig
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("write") || t.is_ident("write_all"))
+        }
+        "write_all" => i > 0 && sig[i - 1].is_punct('.'),
+        _ => false,
+    }
+}
+
+/// First pass for L009's call-through check: collects the names of
+/// file-local functions whose signature or body contains a blocking
+/// I/O token. Propagation is deliberately one level and file-local —
+/// deep interprocedural analysis is out of scope for a token-stream
+/// linter, and one hop already catches the "factored the write into a
+/// helper" shape.
+fn dirty_functions<'a>(sig: &[&'a Token]) -> Vec<&'a str> {
+    let mut dirty = Vec::new();
+    // Stack of (fn-name index, depth at the `fn` keyword, is_dirty).
+    let mut stack: Vec<(usize, usize, bool)> = Vec::new();
+    let mut depth = 0usize;
+    for (i, token) in sig.iter().enumerate() {
+        if token.is_punct('{') {
+            depth += 1;
+        } else if token.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while stack.last().is_some_and(|&(_, d, _)| d >= depth) {
+                let (name, _, is_dirty) = stack.pop().expect("checked non-empty");
+                if is_dirty && !dirty.contains(&sig[name].text.as_str()) {
+                    dirty.push(sig[name].text.as_str());
+                }
+            }
+        }
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        if token.is_ident("fn")
+            && sig.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            stack.push((i + 1, depth, false));
+        } else if blocking_io_token(sig, i) {
+            if let Some(frame) = stack.last_mut() {
+                frame.2 = true;
+            }
+        }
+    }
+    // Functions still open at EOF (unbalanced braces) drain here.
+    for (name, _, is_dirty) in stack {
+        if is_dirty && !dirty.contains(&sig[name].text.as_str()) {
+            dirty.push(sig[name].text.as_str());
+        }
+    }
+    dirty
 }
 
 /// True when significant tokens `i+1`, `i+2` are `::`.
@@ -554,6 +720,69 @@ mod tests {
         assert_eq!(
             rules_of(&rust_findings("crates/x/src/a.rs", qualified)),
             vec!["L008"]
+        );
+    }
+
+    #[test]
+    fn l009_flags_blocking_io_under_live_span() {
+        // Blocking write while the span guard is live.
+        let bad = "fn f() { let _s = scan_obs::span!(\"hot\"); \
+                   std::fs::write(path, data).unwrap(); }";
+        assert_eq!(rules_of(&rust_findings("crates/core/src/a.rs", bad)), vec!["L009"]);
+
+        // Same I/O after the span's block has closed is fine.
+        let good = "fn f() { { let _s = scan_obs::span!(\"hot\"); work(); } \
+                    std::fs::write(path, data).unwrap(); }";
+        assert!(rust_findings("crates/core/src/a.rs", good).is_empty());
+
+        // span::enter and socket writes count too.
+        let socket = "fn f() { let _s = span::enter(\"scrape\"); \
+                      stream.write_all(b\"x\").ok(); }";
+        assert_eq!(rules_of(&rust_findings("crates/obs/src/a.rs", socket)), vec!["L009"]);
+        let tcp = "fn f() { let _s = scan_obs::span!(\"net\"); \
+                   let c = TcpStream::connect(addr); }";
+        assert_eq!(rules_of(&rust_findings("crates/sim/src/a.rs", tcp)), vec!["L009"]);
+
+        // I/O with no span live, and spans with no I/O, are fine.
+        assert!(rust_findings(
+            "crates/core/src/a.rs",
+            "fn f() { std::fs::write(path, data).unwrap(); }"
+        )
+        .is_empty());
+        assert!(rust_findings(
+            "crates/core/src/a.rs",
+            "fn f() { let _s = scan_obs::span!(\"hot\"); work(); }"
+        )
+        .is_empty());
+
+        // Out-of-scope crates (the CLI writes files under spans by
+        // design) are not flagged.
+        assert!(rust_findings("crates/cli/src/commands.rs", bad).is_empty());
+
+        // Factoring the write into a file-local helper does not
+        // launder the wait out of the span: calling a dirty function
+        // under a live span is flagged too (one hop, file-local).
+        let laundered = "fn f(c: &mut S) { let _s = scan_obs::span!(\"scrape\"); \
+                         respond(c); } \
+                         fn respond(c: &mut S) { c.write_all(b\"x\").ok(); }";
+        assert_eq!(
+            rules_of(&rust_findings("crates/obs/src/a.rs", laundered)),
+            vec!["L009"]
+        );
+
+        // The same helper called with no span live is fine, and the
+        // helper's own definition is never flagged.
+        let clean_call = "fn f(c: &mut S) { respond(c); } \
+                          fn respond(c: &mut S) { c.write_all(b\"x\").ok(); }";
+        assert!(rust_findings("crates/obs/src/a.rs", clean_call).is_empty());
+
+        // A dirty signature (takes a TcpStream) marks the helper too,
+        // even when declared after its call site.
+        let sig_dirty = "fn f() { let _s = scan_obs::span!(\"net\"); probe(c); } \
+                         fn probe(c: TcpStream) { c.peer_addr().ok(); }";
+        assert_eq!(
+            rules_of(&rust_findings("crates/obs/src/a.rs", sig_dirty)),
+            vec!["L009"]
         );
     }
 

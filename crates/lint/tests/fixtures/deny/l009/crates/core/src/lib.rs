@@ -1,0 +1,5 @@
+// Fixture: blocking file I/O while a span guard is live (L009).
+pub fn checkpoint(path: &std::path::Path, data: &[u8]) {
+    let _span = scan_obs::span!("campaign/checkpoint");
+    std::fs::write(path, data).expect("checkpoint written");
+}

@@ -4,10 +4,12 @@
 //!
 //! * an NDJSON stream (`.ndjson`): every line must parse as a JSON
 //!   object with a known `type` — trace events (`meta`/`span`/
-//!   `counter`/`hist`), diagnosis audit events (`fault`),
+//!   `counter`/`hist`), live-telemetry records (`ts` time series,
+//!   `context` trace correlation), diagnosis audit events (`fault`),
 //!   fault-tolerant recovery events (`retry`/`vote`/`fallback`), and
 //!   static-analysis events from `scan-lint` (`finding`/`lint`) are
-//!   all accepted;
+//!   all accepted; an optional `"trace"` stamp on any line must be
+//!   consistent across the stream;
 //! * a collapsed-stack profile (`.folded`, or any non-JSON text):
 //!   every line must be `frame[;frame…] <count>`;
 //! * a bench baseline (JSON with `suite`/`kernels` members): every
@@ -15,9 +17,22 @@
 //! * a JSON metrics snapshot (any other JSON: one object with
 //!   `counters` / `histograms` / `spans` members).
 //!
+//! Two extra modes:
+//!
+//! * `obs-check --join <trace.ndjson>…` — verifies a *merged
+//!   multi-process trace*: every stream shares one trace id, exactly
+//!   one stream is the root (no `parent_span`), and every other
+//!   stream's `parent_span` resolves to a span recorded in another
+//!   stream reachable from the root (no orphans, no cycles).
+//! * `obs-check --scrape <host:port>` — a std-only HTTP client for the
+//!   live `--serve-metrics` endpoint: GETs `/healthz`, `/metrics`
+//!   (validated as Prometheus text exposition), and `/metrics.json`
+//!   (validated as a metrics snapshot).
+//!
 //! Exits nonzero with a message on the first failure —
 //! `scripts/verify.sh` runs this against an instrumented smoke
-//! campaign and a quick-mode bench run.
+//! campaign, a live scrape, a multi-process trace join, and a
+//! quick-mode bench run.
 
 use std::process::ExitCode;
 
@@ -28,7 +43,10 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut faults = 0usize;
     let mut recoveries = 0usize;
     let mut findings = 0usize;
+    let mut series = 0usize;
+    let mut contexts = 0usize;
     let mut lines = 0usize;
+    let mut stamp: Option<String> = None;
     for (index, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -36,12 +54,34 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
         lines += 1;
         let value =
             parse(line).map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+        if let Some(trace) = value.get("trace").and_then(Value::as_str) {
+            match &stamp {
+                None => stamp = Some(trace.to_owned()),
+                Some(seen) if seen == trace => {}
+                Some(seen) => {
+                    return Err(format!(
+                        "{path}:{}: trace stamp `{trace}` conflicts with `{seen}`",
+                        index + 1
+                    ))
+                }
+            }
+        }
         let kind = value
             .get("type")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("{path}:{}: missing \"type\"", index + 1))?;
         match kind {
             "meta" | "counter" | "hist" => {}
+            "ts" => {
+                check_ts_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                series += 1;
+            }
+            "context" => {
+                check_context_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                contexts += 1;
+            }
             "span" => {
                 let start = value.get("start_ns").and_then(Value::as_f64);
                 let end = value.get("end_ns").and_then(Value::as_f64);
@@ -86,11 +126,63 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     if lines == 0 {
         return Err(format!("{path}: empty NDJSON stream"));
     }
+    if contexts > 1 {
+        return Err(format!("{path}: {contexts} context records (want at most 1)"));
+    }
     eprintln!(
         "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s), \
-         {recoveries} recovery event(s), {findings} lint finding(s) OK"
+         {recoveries} recovery event(s), {findings} lint finding(s), {series} series, \
+         {contexts} context(s) OK"
     );
     Ok(())
+}
+
+/// A `ts` time-series record: a name plus `[offset_ns, value]` sample
+/// pairs whose offsets ascend (the sampler's monotonic guarantee).
+fn check_ts_event(value: &Value) -> Result<(), String> {
+    if value.get("name").and_then(Value::as_str).is_none() {
+        return Err("ts event missing string \"name\"".to_owned());
+    }
+    let samples = value
+        .get("samples")
+        .and_then(Value::as_array)
+        .ok_or("ts event missing \"samples\" array")?;
+    let mut prev: Option<f64> = None;
+    for (i, pair) in samples.iter().enumerate() {
+        let Some(pair) = pair.as_array() else {
+            return Err(format!("ts sample {i} is not an array"));
+        };
+        let offset = pair.first().and_then(Value::as_f64);
+        let val = pair.get(1).and_then(Value::as_f64);
+        let (Some(offset), Some(_)) = (offset, val) else {
+            return Err(format!("ts sample {i} is not [offset_ns, value]"));
+        };
+        if prev.is_some_and(|p| offset < p) {
+            return Err(format!("ts sample {i} offset went backwards"));
+        }
+        prev = Some(offset);
+    }
+    Ok(())
+}
+
+/// A `context` trace-correlation record: a 16-hex-digit trace id, a
+/// process name, and an optional parent span path.
+fn check_context_event(value: &Value) -> Result<(), String> {
+    let trace_id = value
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .ok_or("context event missing string \"trace_id\"")?;
+    if !scan_obs::context::is_valid_trace_id(trace_id) {
+        return Err(format!("context trace_id `{trace_id}` is not 16 hex digits"));
+    }
+    if value.get("process").and_then(Value::as_str).is_none() {
+        return Err("context event missing string \"process\"".to_owned());
+    }
+    match value.get("parent_span") {
+        None | Some(Value::Null) => Ok(()),
+        Some(v) if v.as_str().is_some_and(|s| !s.is_empty()) => Ok(()),
+        Some(_) => Err("context parent_span must be null or a non-empty string".to_owned()),
+    }
 }
 
 /// One static-analysis finding from a `scan-lint --out` stream: a rule
@@ -260,17 +352,201 @@ fn check(path: &str) -> Result<(), String> {
     check_folded(path, &text)
 }
 
+/// One parsed per-process stream in a `--join` set.
+struct JoinStream {
+    path: String,
+    trace_id: Option<String>,
+    parent_span: Option<String>,
+    process: String,
+    span_paths: std::collections::BTreeSet<String>,
+}
+
+fn load_join_stream(path: &str) -> Result<JoinStream, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    // Full per-stream validation first, so join errors are about the
+    // join, not about malformed lines.
+    check_ndjson(path, &text)?;
+    let mut stream = JoinStream {
+        path: path.to_owned(),
+        trace_id: None,
+        parent_span: None,
+        process: path.to_owned(),
+        span_paths: std::collections::BTreeSet::new(),
+    };
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        let value = parse(line).map_err(|e| format!("{path}: {e}"))?;
+        match value.get("type").and_then(Value::as_str) {
+            Some("context") => {
+                stream.trace_id = value
+                    .get("trace_id")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                stream.parent_span = value
+                    .get("parent_span")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                if let Some(process) = value.get("process").and_then(Value::as_str) {
+                    stream.process = process.to_owned();
+                }
+            }
+            Some("span") => {
+                if let Some(span_path) = value.get("path").and_then(Value::as_str) {
+                    stream.span_paths.insert(span_path.to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(stream)
+}
+
+/// Verifies a merged multi-process trace: one shared trace id, exactly
+/// one root stream, and every child's `parent_span` resolving to a
+/// span in another stream reachable from the root.
+fn check_join(paths: &[String]) -> Result<(), String> {
+    if paths.len() < 2 {
+        return Err("--join needs at least 2 trace streams".to_owned());
+    }
+    let streams = paths
+        .iter()
+        .map(|p| load_join_stream(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let trace_id = streams[0]
+        .trace_id
+        .clone()
+        .ok_or_else(|| format!("{}: no context record (no trace id)", streams[0].path))?;
+    for s in &streams {
+        match &s.trace_id {
+            None => return Err(format!("{}: no context record (no trace id)", s.path)),
+            Some(id) if *id == trace_id => {}
+            Some(id) => {
+                return Err(format!(
+                    "{}: trace id `{id}` does not match `{trace_id}`",
+                    s.path
+                ))
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..streams.len())
+        .filter(|&i| streams[i].parent_span.is_none())
+        .collect();
+    let [root] = roots.as_slice() else {
+        return Err(format!(
+            "want exactly 1 root stream (no parent_span), found {}",
+            roots.len()
+        ));
+    };
+    // Attach each child to the stream that recorded its parent span.
+    let mut parent_of: Vec<Option<usize>> = vec![None; streams.len()];
+    for (i, s) in streams.iter().enumerate() {
+        let Some(parent_span) = &s.parent_span else {
+            continue;
+        };
+        let owner = (0..streams.len())
+            .find(|&j| j != i && streams[j].span_paths.contains(parent_span));
+        match owner {
+            Some(j) => parent_of[i] = Some(j),
+            None => {
+                return Err(format!(
+                    "{}: orphan: parent span `{parent_span}` not recorded by any other stream",
+                    s.path
+                ))
+            }
+        }
+    }
+    // Every stream must reach the root through its parents (no cycles).
+    for (i, s) in streams.iter().enumerate() {
+        let mut cursor = i;
+        let mut hops = 0;
+        while cursor != *root {
+            cursor = parent_of[cursor].ok_or_else(|| {
+                format!("{}: does not reach the root stream", s.path)
+            })?;
+            hops += 1;
+            if hops > streams.len() {
+                return Err(format!("{}: parent chain contains a cycle", s.path));
+            }
+        }
+    }
+    eprintln!("obs-check: joined trace `{trace_id}` OK: {} process(es)", streams.len());
+    for (i, s) in streams.iter().enumerate() {
+        let indent = if i == *root { "" } else { "  " };
+        match &s.parent_span {
+            None => eprintln!("obs-check:   {indent}{} (root)", s.process),
+            Some(p) => eprintln!("obs-check:   {indent}{} under `{p}`", s.process),
+        }
+    }
+    Ok(())
+}
+
+/// A std-only HTTP/1.1 GET against the live metrics endpoint.
+fn http_get(addr: &str, target: &str) -> Result<(u16, String), String> {
+    use std::io::{Read as _, Write as _};
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(conn, "GET {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("write to `{addr}` failed: {e}"))?;
+    let mut response = String::new();
+    conn.read_to_string(&mut response)
+        .map_err(|e| format!("read from `{addr}` failed: {e}"))?;
+    let status = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("`{addr}{target}`: malformed status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Scrapes a live `--serve-metrics` endpoint and validates all three
+/// routes.
+fn check_scrape(addr: &str) -> Result<(), String> {
+    let (status, health) = http_get(addr, "/healthz")?;
+    if status != 200 || !health.contains("\"status\":\"ok\"") {
+        return Err(format!("/healthz: status {status}, body `{health}`"));
+    }
+    let (status, text) = http_get(addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("/metrics: status {status}"));
+    }
+    let samples = scan_obs::serve::validate_exposition(&text)
+        .map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+    let (status, json) = http_get(addr, "/metrics.json")?;
+    if status != 200 {
+        return Err(format!("/metrics.json: status {status}"));
+    }
+    let value = parse(&json).map_err(|e| format!("/metrics.json: {e}"))?;
+    check_metrics(&format!("{addr}/metrics.json"), &value)?;
+    eprintln!("obs-check: scrape {addr} OK ({samples} exposition sample(s))");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: obs-check <trace.ndjson|metrics.json>…");
+        eprintln!(
+            "usage: obs-check <trace.ndjson|metrics.json>… \
+             | obs-check --join <trace.ndjson>… | obs-check --scrape <host:port>"
+        );
         return ExitCode::from(2);
     }
-    for path in &args {
-        if let Err(message) = check(path) {
-            eprintln!("obs-check: FAILED: {message}");
-            return ExitCode::FAILURE;
-        }
+    let result = match args[0].as_str() {
+        "--join" => check_join(&args[1..]),
+        "--scrape" => match args.get(1) {
+            Some(addr) if args.len() == 2 => check_scrape(addr),
+            _ => Err("--scrape takes exactly one <host:port>".to_owned()),
+        },
+        _ => args.iter().try_for_each(|path| check(path)),
+    };
+    if let Err(message) = result {
+        eprintln!("obs-check: FAILED: {message}");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -33,6 +33,21 @@ pub struct ObsConfig {
     /// `folded` format) profile export. Implies [`ObsConfig::profile`]-
     /// style span recording; `None` skips the file.
     pub profile_path: Option<PathBuf>,
+    /// Serve `/metrics` + `/healthz` on this `host:port` while the
+    /// session runs (`0` port picks an ephemeral one). Implies metrics
+    /// recording and time-series sampling; the bound address is logged
+    /// to stderr. `None` (the default) starts no server.
+    pub serve_addr: Option<String>,
+    /// Record in-memory time series of every counter/histogram via the
+    /// background snapshotter, exported as `ts` NDJSON records.
+    /// Implied by [`ObsConfig::serve_addr`].
+    pub timeseries: bool,
+    /// Snapshotter interval in milliseconds; `0` (the default) selects
+    /// [`crate::timeseries::DEFAULT_INTERVAL_MS`].
+    pub ts_interval_ms: u64,
+    /// Per-series ring capacity; `0` (the default) selects
+    /// [`crate::timeseries::DEFAULT_CAPACITY`].
+    pub ts_capacity: usize,
 }
 
 impl ObsConfig {
@@ -45,7 +60,14 @@ impl ObsConfig {
     /// True if any recording is requested.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.trace || self.metrics || self.progress || self.profiling()
+        self.trace || self.metrics || self.progress || self.profiling() || self.sampling()
+    }
+
+    /// True if time-series sampling is requested (the `timeseries`
+    /// toggle or a metrics endpoint, which needs series to serve).
+    #[must_use]
+    pub fn sampling(&self) -> bool {
+        self.timeseries || self.serve_addr.is_some()
     }
 
     /// True if span profiling is requested (the `profile` toggle or an
@@ -62,7 +84,7 @@ impl ObsConfig {
         if self.trace || self.profiling() {
             mask |= crate::registry::TRACE | crate::registry::METRICS;
         }
-        if self.metrics {
+        if self.metrics || self.sampling() {
             mask |= crate::registry::METRICS;
         }
         if self.progress {

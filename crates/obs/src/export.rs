@@ -9,7 +9,9 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
+use crate::context::{self, TraceContext};
 use crate::registry::{Histogram, Snapshot, SpanStat};
+use crate::timeseries::{self, Sample};
 
 /// Escapes a string for embedding in JSON output.
 fn escape(text: &str) -> String {
@@ -138,6 +140,97 @@ pub fn ndjson(snapshot: &Snapshot) -> String {
         );
     }
     out
+}
+
+/// Renders one `{"type":"context",…}` NDJSON record carrying the
+/// session's trace-correlation identity.
+#[must_use]
+pub fn context_line(ctx: &TraceContext) -> String {
+    let parent = match &ctx.parent_span {
+        Some(span) => escape(span),
+        None => "null".to_owned(),
+    };
+    format!(
+        r#"{{"type":"context","trace_id":{},"parent_span":{},"process":{}}}"#,
+        escape(&ctx.trace_id),
+        parent,
+        escape(&ctx.process)
+    )
+}
+
+/// Renders one `{"type":"ts",…}` NDJSON record per time series:
+/// `samples` is an array of `[offset_ns, value]` pairs in monotonic
+/// offset order.
+#[must_use]
+pub fn ts_lines(series: &std::collections::BTreeMap<String, Vec<Sample>>) -> String {
+    let mut out = String::new();
+    for (name, samples) in series {
+        let pairs = samples
+            .iter()
+            .map(|(t, v)| format!("[{t},{v}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            r#"{{"type":"ts","name":{},"samples":[{pairs}]}}"#,
+            escape(name)
+        );
+    }
+    out
+}
+
+/// Stamps `"trace":"<id>"` into every NDJSON object in `text` (as the
+/// first member), correlating the records with a cross-process trace.
+/// Non-object lines are passed through untouched.
+#[must_use]
+pub fn stamp_ndjson(text: &str, trace_id: &str) -> String {
+    let stamp = format!(r#"{{"trace":{},""#, escape(trace_id));
+    let mut out = String::with_capacity(text.len() + text.lines().count() * (stamp.len() + 8));
+    for line in text.lines() {
+        // Only lines that open an object member list can take the
+        // stamp; anything else (including `{}`) passes through.
+        if let Some(rest) = line.strip_prefix("{\"") {
+            out.push_str(&stamp);
+            out.push_str(rest);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the full session NDJSON stream: the [`ndjson`] event stream
+/// plus the active time-series (`ts` records) and, when a trace
+/// context is installed, a `context` record and a `"trace"` stamp on
+/// every line. This is what [`crate::finish`] writes to
+/// [`crate::ObsConfig::trace_path`].
+#[must_use]
+pub fn session_ndjson(snapshot: &Snapshot) -> String {
+    let mut out = ndjson(snapshot);
+    if let Some(store) = timeseries::active() {
+        out.push_str(&ts_lines(&store.series()));
+    }
+    if let Some(ctx) = context::current() {
+        out.push_str(&context_line(&ctx));
+        out.push('\n');
+        out = stamp_ndjson(&out, &ctx.trace_id);
+    }
+    out
+}
+
+/// Stamps `text` with the installed trace context (if any) and writes
+/// it to `path`: the NDJSON-file twin of [`write_file`], used for
+/// audit trails and any stream that must join a cross-process trace.
+///
+/// # Errors
+///
+/// Propagates I/O failures, with the offending path in the message.
+pub fn write_ndjson(path: &Path, text: &str) -> std::io::Result<()> {
+    match context::current() {
+        Some(ctx) => write_file(path, &stamp_ndjson(text, &ctx.trace_id)),
+        None => write_file(path, text),
+    }
 }
 
 /// Renders the span tree for humans: one line per path, indented by

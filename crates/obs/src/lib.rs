@@ -52,15 +52,20 @@
 #![allow(clippy::cast_precision_loss)]
 
 mod config;
+pub mod context;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
 pub mod registry;
+pub mod report;
+pub mod serve;
 pub mod span;
+pub mod timeseries;
 
 pub use config::ObsConfig;
+pub use context::TraceContext;
 pub use profile::{Profile, ProfileEntry};
 pub use registry::{flush_thread, snapshot, Histogram, Snapshot, SpanEvent, SpanStat};
 pub use span::SpanGuard;
@@ -100,7 +105,7 @@ pub fn finish(config: &ObsConfig) -> std::io::Result<()> {
     }
     let snapshot = registry::snapshot();
     if let Some(path) = &config.trace_path {
-        export::write_file(path, &export::ndjson(&snapshot))?;
+        export::write_file(path, &export::session_ndjson(&snapshot))?;
     }
     if let Some(path) = &config.metrics_path {
         export::write_file(path, &export::metrics_json(&snapshot))?;
@@ -120,10 +125,65 @@ pub fn finish(config: &ObsConfig) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Disables recording and discards everything recorded so far.
+/// Disables recording and discards everything recorded so far,
+/// including the trace context and any active time-series store.
 /// Primarily for tests, which must leave the process-global state
 /// clean for their neighbours.
 pub fn reset() {
     registry::set_state(0);
     registry::reset();
+    context::clear();
+    timeseries::clear_active();
+}
+
+/// The live-telemetry runtime of one session: the background
+/// time-series [`timeseries::Sampler`] and the
+/// [`serve::MetricsServer`], both optional per [`ObsConfig`]. Obtain
+/// one from [`start_telemetry`] right after [`init`]; call
+/// [`Telemetry::stop`] before [`finish`] so the final export sees the
+/// folded server-thread metrics and a complete series.
+#[derive(Default)]
+pub struct Telemetry {
+    sampler: Option<timeseries::Sampler>,
+    server: Option<serve::MetricsServer>,
+}
+
+impl Telemetry {
+    /// The metrics endpoint's bound address, when one is serving.
+    #[must_use]
+    pub fn addr(&self) -> Option<std::net::SocketAddr> {
+        self.server.as_ref().map(serve::MetricsServer::addr)
+    }
+
+    /// Stops the endpoint and the sampler (taking one final sample).
+    pub fn stop(self) {
+        if let Some(server) = self.server {
+            server.stop();
+        }
+        if let Some(sampler) = self.sampler {
+            sampler.stop();
+        }
+    }
+}
+
+/// Starts whatever live telemetry `config` asks for: the background
+/// snapshotter when [`ObsConfig::sampling`] and the `/metrics`
+/// endpoint when [`ObsConfig::serve_addr`] is set. Returns an inert
+/// [`Telemetry`] when neither is requested. Call after [`init`].
+///
+/// # Errors
+///
+/// Propagates the endpoint bind failure (the address is in the
+/// message).
+pub fn start_telemetry(config: &ObsConfig) -> std::io::Result<Telemetry> {
+    let mut telemetry = Telemetry::default();
+    if config.sampling() {
+        let store = std::sync::Arc::new(timeseries::TimeSeriesStore::new(config.ts_capacity));
+        timeseries::set_active(std::sync::Arc::clone(&store));
+        telemetry.sampler = Some(timeseries::Sampler::start(store, config.ts_interval_ms));
+    }
+    if let Some(addr) = &config.serve_addr {
+        telemetry.server = Some(serve::MetricsServer::start(addr)?);
+    }
+    Ok(telemetry)
 }

@@ -371,6 +371,15 @@ pub struct Snapshot {
     pub events: Vec<SpanEvent>,
 }
 
+/// Nanoseconds elapsed since the observability epoch ([`crate::init`]
+/// or the first recording, whichever came first). The same monotonic
+/// timebase span events use, so time-series samples and spans line up.
+#[must_use]
+pub fn epoch_elapsed_ns() -> u64 {
+    let epoch = lock_global().epoch;
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Takes a [`Snapshot`] of the merged global state.
 #[must_use]
 pub fn snapshot() -> Snapshot {

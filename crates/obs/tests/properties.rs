@@ -168,6 +168,73 @@ fn concurrent_scoped_workers_record_without_loss() {
     });
 }
 
+/// Property: a snapshot taken while workers are actively recording
+/// never tears. Workers record a *pair* of counters and only then
+/// fold their shard (`flush_thread`), so the published totals must
+/// move in lockstep: every snapshot sees `pair.alpha == pair.beta`,
+/// totals are monotone across successive snapshots, and after the
+/// scope joins the totals are exact — no shard is lost and no batch
+/// is half-visible.
+#[test]
+fn snapshots_during_recording_never_tear() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    scan_rng::testkit::Runner::new(12).run("obs.snapshot_no_tearing", |g| {
+        let workers = g.usize("workers", 2, 6);
+        let batches = g.u64("batches", 8, 48);
+        let per_batch = g.u64("per_batch", 1, 32);
+        with_obs(&trace_config(), || {
+            let done = AtomicUsize::new(0);
+            let mut observed = Vec::new();
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let done = &done;
+                    scope.spawn(move || {
+                        for _ in 0..batches {
+                            // Record the whole pair before folding: the
+                            // fold is the publication point, so readers
+                            // must never see a half-recorded batch.
+                            metrics::add("pair.alpha", per_batch);
+                            metrics::add("pair.beta", per_batch);
+                            metrics::add_fmt(|| format!("pair.worker{w}"), per_batch);
+                            scan_obs::flush_thread();
+                        }
+                        done.fetch_add(1, Ordering::Release);
+                    });
+                }
+                // Main thread races snapshots against the recording
+                // workers; `snapshot()` folds only the calling thread's
+                // (empty) shard, so it observes exactly the published
+                // batches.
+                while done.load(Ordering::Acquire) < workers {
+                    let snap = scan_obs::snapshot();
+                    let alpha = snap.counters.get("pair.alpha").copied().unwrap_or(0);
+                    let beta = snap.counters.get("pair.beta").copied().unwrap_or(0);
+                    assert_eq!(alpha, beta, "snapshot tore a published pair");
+                    observed.push(alpha);
+                    std::thread::yield_now();
+                }
+            });
+            observed.push(u64::MAX); // sentinel: final check below dominates
+            assert!(
+                observed.windows(2).all(|w| w[0] <= w[1]),
+                "published totals regressed across snapshots: {observed:?}"
+            );
+            let expected = workers as u64 * batches * per_batch;
+            let snap = scan_obs::snapshot();
+            assert_eq!(snap.counters["pair.alpha"], expected, "lost alpha shard");
+            assert_eq!(snap.counters["pair.beta"], expected, "lost beta shard");
+            for w in 0..workers {
+                assert_eq!(
+                    snap.counters[&format!("pair.worker{w}")],
+                    batches * per_batch,
+                    "worker {w}'s shard was lost or double-folded"
+                );
+            }
+        });
+    });
+}
+
 #[test]
 fn ndjson_round_trips_through_the_json_reader() {
     with_obs(&trace_config(), || {

@@ -72,4 +72,46 @@ echo "==> quick bench smoke (scanbist bench --quick)"
     > "$SMOKE_DIR/bench_table.txt" 2> "$SMOKE_DIR/bench_progress.txt"
 ./target/release/obs-check "$SMOKE_DIR/BENCH_quick.json"
 
+echo "==> live metrics smoke (--serve-metrics, scraped mid-campaign)"
+./target/release/scanbist \
+    --serve-metrics 127.0.0.1:0 \
+    --trace-out "$SMOKE_DIR/serve_trace.ndjson" \
+    diagnose s13207 --patterns 256 --faults 120 \
+    > /dev/null 2> "$SMOKE_DIR/serve_stderr.txt" &
+SERVE_PID=$!
+# The ephemeral bound address is announced on stderr; poll for it.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^obs: serving metrics on http://##p' "$SMOKE_DIR/serve_stderr.txt")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve-metrics never announced an address"; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+./target/release/obs-check --scrape "$ADDR" || {
+    echo "live /metrics scrape failed"; kill "$SERVE_PID" 2>/dev/null; exit 1;
+}
+wait "$SERVE_PID" || { echo "instrumented serve campaign failed"; exit 1; }
+./target/release/obs-check "$SMOKE_DIR/serve_trace.ndjson"
+
+echo "==> multi-process trace-join smoke (all_experiments + obs-check --join)"
+rm -f "$SMOKE_DIR"/join/trace_*.ndjson
+mkdir -p "$SMOKE_DIR/join"
+./target/release/all_experiments \
+    --trace-out "$SMOKE_DIR/join/trace_all_experiments.ndjson" \
+    --only table1,table2 "$SMOKE_DIR/join" \
+    > /dev/null 2>> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check --join "$SMOKE_DIR"/join/trace_*.ndjson
+
+echo "==> dashboard smoke (scanbist report, self-contained HTML)"
+./target/release/scanbist report "$SMOKE_DIR"/join/trace_*.ndjson \
+    --out "$SMOKE_DIR/report.html" --title "verify smoke" \
+    2>> "$SMOKE_DIR/summary.txt"
+grep -q '<!doctype html>' "$SMOKE_DIR/report.html" || {
+    echo "report smoke did not render an HTML document"; exit 1;
+}
+# Self-contained means self-contained: no external asset references.
+if grep -Eq 'src="https?://|href="https?://|@import' "$SMOKE_DIR/report.html"; then
+    echo "report.html references external assets"; exit 1;
+fi
+
 echo "==> verify OK"
