@@ -18,7 +18,10 @@
 //! results in `out_dir`. The orchestrator's trace context is handed to
 //! each child via `SCANBIST_TRACE_ID` / `SCANBIST_PARENT_SPAN`, so the
 //! per-child NDJSON streams join into one cross-process trace tree
-//! (`obs-check --join results/trace_*.ndjson`).
+//! (`obs-check --join results/trace_*.ndjson`). With `--flight-recorder
+//! <path>` the orchestrator also arms a per-child black box
+//! (`flight_<name>.ndjson` in `out_dir`): a worker that panics leaves a
+//! dump that joins the same trace tree.
 //!
 //! `--only <a,b,…>` restricts the run to a comma-separated subset of
 //! the experiment names — handy for smoke tests and trace-join checks.
@@ -75,6 +78,7 @@ fn main() {
     let forward_trace = scan_obs::registry::trace_enabled();
     let forward_metrics = scan_obs::registry::metrics_enabled();
     let forward_progress = scan_obs::registry::progress_enabled();
+    let forward_flight = scan_obs::recorder::is_installed();
     let context = scan_obs::context::current();
     let mut out_dir = PathBuf::from("results");
     let mut only: Option<Vec<String>> = None;
@@ -157,6 +161,13 @@ fn main() {
                     }
                     if forward_progress {
                         command.arg("--progress");
+                    }
+                    if forward_flight {
+                        // A crashing worker then leaves a black-box
+                        // dump that joins this orchestrator's trace via
+                        // the handed-down context (`obs-check --join`).
+                        command.arg("--flight-recorder");
+                        command.arg(out_dir.join(format!("flight_{name}.ndjson")));
                     }
                     if let Some(ctx) = &context {
                         // The child's parent span is the orchestrator

@@ -2,8 +2,9 @@
 //!
 //! Every table/figure binary accepts the same flags the `scanbist` CLI
 //! does — `--trace`, `--trace-out <path>`, `--metrics-out <path>`,
-//! `--profile`, `--profile-out <path>`, `--progress`, and
-//! `--serve-metrics <addr>` — parsed here from the process arguments
+//! `--profile`, `--profile-out <path>`, `--progress`,
+//! `--serve-metrics <addr>`, `--slo <slo.toml>`, and
+//! `--flight-recorder <path>` — parsed here from the process arguments
 //! before the binary's own positionals. [`ObsSession::start`] installs
 //! the configuration process-wide, adopts the cross-process trace
 //! context from `SCANBIST_TRACE_ID` / `SCANBIST_PARENT_SPAN` when one
@@ -28,11 +29,14 @@ pub fn usage(binary: &str) -> String {
     format!(
         "usage: {binary} [ARGS] [--trace] [--trace-out <path>] [--metrics-out <path>]\n\
          \x20          [--profile] [--profile-out <path>] [--progress]\n\
-         \x20          [--serve-metrics <addr>]\n\
+         \x20          [--serve-metrics <addr>] [--slo <slo.toml>]\n\
+         \x20          [--flight-recorder <path>]\n\
          Experiment binary from the scan-BIST workspace. The table/figure payload\n\
          goes to stdout; diagnostics, progress, and observability summaries go to\n\
          stderr. --serve-metrics serves live /metrics (Prometheus text),\n\
-         /metrics.json, and /healthz on <addr> for the run's duration.\n\
+         /metrics.json, /alerts.json, and /healthz on <addr> for the run's\n\
+         duration. --slo evaluates alert rules on every sampler tick;\n\
+         --flight-recorder dumps a black-box NDJSON ring on panic.\n\
          See EXPERIMENTS.md for the binary's own arguments."
     )
 }
@@ -53,6 +57,12 @@ impl ObsSession {
     /// `trace_<binary>.ndjson`, and the trace context's process.
     /// `--help` / `-h` anywhere in the arguments prints the shared
     /// usage text to stderr and exits 0 before any work happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics deliberately when `SCANBIST_CRASH_EXPERIMENT` names this
+    /// binary — the fault-injection hook `scripts/verify.sh` uses to
+    /// exercise the flight recorder's crash dump path.
     pub fn start(binary: &str) -> (ObsSession, Vec<String>) {
         let (config, rest) = parse_env_args(binary, std::env::args().skip(1));
         if rest.iter().any(|a| a == "--help" || a == "-h") {
@@ -70,6 +80,16 @@ impl ObsSession {
                 std::process::exit(2);
             }
         };
+        // Fault-injection backdoor for the flight-recorder smoke test:
+        // deliberately undocumented in the usage text. Firing *after*
+        // telemetry is up means the recorder's panic hook is installed
+        // and the ring exists, exactly like a mid-campaign crash.
+        // An injected crash reads clearer as an explicit panic than as
+        // a negated assert.
+        #[allow(clippy::manual_assert)]
+        if std::env::var("SCANBIST_CRASH_EXPERIMENT").as_deref() == Ok(binary) {
+            panic!("injected crash in `{binary}` (SCANBIST_CRASH_EXPERIMENT)");
+        }
         (ObsSession { config, telemetry }, rest)
     }
 
@@ -128,6 +148,18 @@ pub fn parse_env_args(
                 config.serve_addr = args.next();
                 if config.serve_addr.is_none() {
                     eprintln!("warning: --serve-metrics needs an address; ignoring");
+                }
+            }
+            "--slo" => {
+                config.slo_path = args.next().map(Into::into);
+                if config.slo_path.is_none() {
+                    eprintln!("warning: --slo needs a path; ignoring");
+                }
+            }
+            "--flight-recorder" => {
+                config.flight_path = args.next().map(Into::into);
+                if config.flight_path.is_none() {
+                    eprintln!("warning: --flight-recorder needs a path; ignoring");
                 }
             }
             _ => rest.push(arg),
@@ -204,6 +236,26 @@ mod tests {
 
         let (config, _) = split("table1", &["--serve-metrics"]);
         assert!(config.serve_addr.is_none() && !config.is_enabled());
+    }
+
+    #[test]
+    fn slo_and_flight_recorder_flags_set_paths_and_sampling() {
+        let (config, rest) = split(
+            "table1",
+            &["--slo", "slo.toml", "--flight-recorder", "flight.ndjson", "out"],
+        );
+        assert_eq!(config.slo_path.as_deref(), Some("slo.toml".as_ref()));
+        assert_eq!(
+            config.flight_path.as_deref(),
+            Some("flight.ndjson".as_ref())
+        );
+        assert!(config.sampling() && config.is_enabled());
+        assert_eq!(rest, vec!["out".to_owned()]);
+
+        let (config, _) = split("table1", &["--slo"]);
+        assert!(config.slo_path.is_none() && !config.is_enabled());
+        let (config, _) = split("table1", &["--flight-recorder"]);
+        assert!(config.flight_path.is_none() && !config.is_enabled());
     }
 
     #[test]

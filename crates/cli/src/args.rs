@@ -158,6 +158,15 @@ pub enum Command {
         /// Exit nonzero if any unsuppressed finding remains.
         deny: bool,
     },
+    /// `scanbist obs query <stream.ndjson>... [options]` — filter,
+    /// group, and aggregate NDJSON observability streams with the
+    /// [`scan_obs::query`] engine (see `docs/OBSERVABILITY.md`).
+    ObsQuery {
+        /// NDJSON streams to query, in order.
+        files: Vec<String>,
+        /// The assembled filter/group/aggregate pipeline.
+        spec: scan_obs::query::QuerySpec,
+    },
     /// `scanbist help` / `--help`.
     Help,
 }
@@ -288,6 +297,16 @@ where
                 let addr = take_front("--serve-metrics", &mut rest)?;
                 obs.serve_addr = Some(addr);
             }
+            Some("--slo") => {
+                rest.remove(0);
+                let path = take_front("--slo", &mut rest)?;
+                obs.slo_path = Some(path.into());
+            }
+            Some("--flight-recorder") => {
+                rest.remove(0);
+                let path = take_front("--flight-recorder", &mut rest)?;
+                obs.flight_path = Some(path.into());
+            }
             _ => break,
         }
     }
@@ -362,6 +381,15 @@ where
             ensure_done(words)?;
             Ok(Command::Explain { path })
         }
+        "obs" => match words.next() {
+            Some("query") => parse_obs_query(words),
+            Some(other) => Err(ParseArgsError(format!(
+                "unknown obs subcommand `{other}` (expected `query`)"
+            ))),
+            None => Err(ParseArgsError(
+                "`obs` requires a subcommand (try `scanbist obs query`)".into(),
+            )),
+        },
         other => Err(ParseArgsError(format!(
             "unknown command `{other}` (try `scanbist help`)"
         ))),
@@ -592,6 +620,45 @@ where
     })
 }
 
+fn parse_obs_query<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut files = Vec::new();
+    let mut spec = scan_obs::query::QuerySpec::default();
+    while let Some(word) = words.next() {
+        match word {
+            "--type" => {
+                // Repeatable, and each value may be comma-separated.
+                let value = take_value(word, &mut words)?;
+                spec.types
+                    .extend(value.split(',').filter(|t| !t.is_empty()).map(str::to_owned));
+            }
+            "--trace-id" => spec.trace = Some(take_value(word, &mut words)?.to_owned()),
+            "--span" => spec.span_glob = Some(take_value(word, &mut words)?.to_owned()),
+            "--since" => spec.since_ns = Some(parse_num(take_value(word, &mut words)?)?),
+            "--until" => spec.until_ns = Some(parse_num(take_value(word, &mut words)?)?),
+            "--group-by" => spec.group_by = Some(take_value(word, &mut words)?.to_owned()),
+            "--agg" => {
+                spec.agg = scan_obs::query::Agg::parse(take_value(word, &mut words)?)
+                    .map_err(ParseArgsError)?;
+            }
+            "--field" => spec.field = Some(take_value(word, &mut words)?.to_owned()),
+            "--top-slowest" => {
+                spec.top_slowest = Some(parse_num(take_value(word, &mut words)?)?);
+            }
+            flag if flag.starts_with("--") => return Err(unknown_flag(flag)),
+            file => files.push(file.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err(ParseArgsError(
+            "`obs query` requires at least one NDJSON input file".into(),
+        ));
+    }
+    Ok(Command::ObsQuery { files, spec })
+}
+
 fn ensure_done<'a, I: Iterator<Item = &'a str>>(mut words: I) -> Result<(), ParseArgsError> {
     match words.next() {
         None => Ok(()),
@@ -628,9 +695,18 @@ GLOBAL FLAGS (before the command):
                         (NDJSON) during `diagnose`/`noise` campaigns
   --progress            periodic per-shard progress lines on stderr
   --serve-metrics <addr>  serve live /metrics (Prometheus text),
-                        /metrics.json, and /healthz over HTTP on
-                        <addr> (e.g. 127.0.0.1:0) for the run's
-                        duration; implies background sampling
+                        /metrics.json, /alerts.json, and /healthz
+                        over HTTP on <addr> (e.g. 127.0.0.1:0) for
+                        the run's duration; implies background
+                        sampling
+  --slo <slo.toml>      load declarative alert rules and evaluate
+                        them on every sampler tick; firing/resolving
+                        alerts land in the NDJSON stream, /metrics,
+                        /alerts.json, and `scanbist report`
+  --flight-recorder <path>  keep a bounded in-memory ring of recent
+                        spans/counter deltas/alerts and dump it as a
+                        versioned NDJSON black box (plus a .txt
+                        summary) on panic or nonzero exit
 
 COMMANDS:
   scanbist parse <file.bench>
@@ -661,6 +737,13 @@ COMMANDS:
                     (render NDJSON traces/metrics/audits into one
                     self-contained HTML dashboard — span waterfall,
                     time-series sparklines, counters)
+  scanbist obs query <stream.ndjson>... [--type T[,T...]]
+                    [--trace-id ID] [--span GLOB] [--since NS]
+                    [--until NS] [--group-by KEY]
+                    [--agg count|sum|min|max|pN] [--field NAME]
+                    [--top-slowest N]
+                    (filter/group/aggregate NDJSON observability
+                    streams; prints one JSON document to stdout)
   scanbist explain <audit.ndjson>     (summarize an audit trace)
   scanbist lint [--root DIR] [--config FILE] [--out FILE] [--deny]
                     (vendored static-analysis pass; --deny exits
@@ -964,6 +1047,93 @@ mod tests {
         assert!(plain.obs.serve_addr.is_none() && !plain.obs.sampling());
 
         assert!(parse_invocation(["--serve-metrics"]).is_err());
+    }
+
+    #[test]
+    fn parses_slo_and_flight_recorder_flags() {
+        let inv = parse_invocation([
+            "--slo",
+            "slo.toml",
+            "--flight-recorder",
+            "flight.ndjson",
+            "stats",
+            "s27",
+        ])
+        .unwrap();
+        assert_eq!(inv.obs.slo_path.as_deref(), Some("slo.toml".as_ref()));
+        assert_eq!(
+            inv.obs.flight_path.as_deref(),
+            Some("flight.ndjson".as_ref())
+        );
+        // Both imply sampling so the evaluator/ring get ticks.
+        assert!(inv.obs.sampling() && inv.obs.is_enabled());
+
+        assert!(parse_invocation(["--slo"]).is_err());
+        assert!(parse_invocation(["--flight-recorder"]).is_err());
+    }
+
+    #[test]
+    fn parses_obs_query_command() {
+        use scan_obs::query::{Agg, QuerySpec};
+        let cmd = parse_args(["obs", "query", "a.ndjson"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::ObsQuery {
+                files: vec!["a.ndjson".into()],
+                spec: QuerySpec::default(),
+            }
+        );
+
+        let cmd = parse_args([
+            "obs",
+            "query",
+            "a.ndjson",
+            "b.ndjson",
+            "--type",
+            "counter,span",
+            "--type",
+            "alert",
+            "--trace-id",
+            "00aabbccddeeff11",
+            "--span",
+            "campaign/*",
+            "--since",
+            "100",
+            "--until",
+            "900",
+            "--group-by",
+            "name",
+            "--agg",
+            "p95",
+            "--field",
+            "dur_ns",
+            "--top-slowest",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::ObsQuery {
+                files: vec!["a.ndjson".into(), "b.ndjson".into()],
+                spec: QuerySpec {
+                    types: vec!["counter".into(), "span".into(), "alert".into()],
+                    trace: Some("00aabbccddeeff11".into()),
+                    span_glob: Some("campaign/*".into()),
+                    since_ns: Some(100),
+                    until_ns: Some(900),
+                    group_by: Some("name".into()),
+                    agg: Agg::Quantile(95),
+                    field: Some("dur_ns".into()),
+                    top_slowest: Some(5),
+                },
+            }
+        );
+
+        assert!(parse_args(["obs"]).is_err());
+        assert!(parse_args(["obs", "watch"]).is_err());
+        assert!(parse_args(["obs", "query"]).is_err());
+        assert!(parse_args(["obs", "query", "a.ndjson", "--agg", "median"]).is_err());
+        assert!(parse_args(["obs", "query", "a.ndjson", "--bogus"]).is_err());
     }
 
     #[test]

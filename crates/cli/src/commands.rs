@@ -478,7 +478,32 @@ fn execute<W: Write>(
             out: report_out,
             deny,
         } => run_lint(root, config.as_deref(), report_out.as_deref(), *deny),
+        Command::ObsQuery { files, spec } => run_obs_query(files, spec, out),
     }
+}
+
+/// Evaluates one `obs query` pipeline over the given NDJSON streams
+/// and prints the single JSON result document to stdout (the machine
+/// payload channel — nothing else goes there).
+fn run_obs_query<W: Write>(
+    files: &[String],
+    spec: &scan_obs::query::QuerySpec,
+    out: &mut W,
+) -> Result<(), String> {
+    let mut streams = Vec::with_capacity(files.len());
+    for path in files {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let label = std::path::Path::new(path)
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or(path.as_str())
+            .to_owned();
+        streams.push((label, text));
+    }
+    let document = scan_obs::query::run(&streams, spec).map_err(|e| e.to_string())?;
+    writeln!(out, "{document}").map_err(io_err)?;
+    Ok(())
 }
 
 /// Renders NDJSON trace/metrics/audit streams into one self-contained

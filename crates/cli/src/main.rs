@@ -27,6 +27,16 @@ fn main() {
     };
     let code = run_invocation(&invocation, &mut std::io::stdout().lock());
     telemetry.stop();
+    if code != 0 {
+        // Black-box the failure: a nonzero exit dumps the flight ring
+        // (no-op unless --flight-recorder installed one; panics dump
+        // via the recorder's hook before we ever get here).
+        match scan_obs::recorder::dump_on_error() {
+            Ok(Some(path)) => eprintln!("flight recorder: dumped to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: could not write flight-recorder dump: {e}"),
+        }
+    }
     if let Err(e) = scan_obs::finish(&invocation.obs) {
         eprintln!("warning: could not write observability exports: {e}");
     }

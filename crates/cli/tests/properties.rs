@@ -139,3 +139,124 @@ fn json_flag_is_transparent() {
         assert_eq!(with_json.command, plain);
     });
 }
+
+/// `obs query` counter sums are bit-identical to the totals the
+/// metrics registry snapshot holds when fed the same values — the
+/// same numbers `obs-check` validates in the snapshot export. The
+/// query engine must not round, reorder into different f64 sums, or
+/// reformat: each group's `value` is the exact integer total.
+#[test]
+fn obs_query_counter_sums_match_snapshot_totals() {
+    use std::collections::BTreeMap;
+    use std::io::Write as _;
+
+    use scan_bist_cli::run;
+    use scan_obs::query::{Agg, QuerySpec};
+
+    const NAME_CHARS: [char; 28] = [
+        'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+        'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '.', '_',
+    ];
+    let case = std::sync::atomic::AtomicU32::new(0);
+    Runner::new(48).run("obs_query_counter_sums_match_snapshot_totals", |g| {
+        let case = case.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Distinct counter names from an escape-free alphabet.
+        let name_count = g.usize("names", 1, 6);
+        let names: Vec<String> = (0..name_count)
+            .map(|i| format!("ctr.{i}.{}", g.string_of("stem", &NAME_CHARS, 1, 8)))
+            .collect();
+        // Each value stays below 2^32, so every possible sum is well
+        // under 2^53 and exactly representable in the f64 the JSON
+        // layer carries.
+        let events: Vec<(usize, u64)> = g.vec("events", 1, 40, |r| {
+            let idx = r.gen_range_inclusive(0, name_count - 1);
+            (idx, r.next_u64() >> 32)
+        });
+
+        // Independent ground truth, and the registry's own view of the
+        // same stream of increments.
+        let mut expected: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for &(idx, value) in &events {
+            let entry = expected.entry(names[idx].clone()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += value;
+        }
+        scan_obs::registry::reset();
+        scan_obs::init(&scan_obs::ObsConfig {
+            metrics: true,
+            ..scan_obs::ObsConfig::disabled()
+        });
+        for &(idx, value) in &events {
+            scan_obs::metrics::add(&names[idx], value);
+        }
+        let snapshot = scan_obs::registry::snapshot();
+        scan_obs::reset();
+        for (name, &(_, sum)) in &expected {
+            assert_eq!(
+                snapshot.counters.get(name).copied(),
+                Some(sum),
+                "registry snapshot disagrees with ground truth for {name}"
+            );
+        }
+
+        // Spread the same events over 1..=3 NDJSON stream files, with
+        // non-counter noise the type filter must drop.
+        let stream_count = g.usize("streams", 1, 3);
+        let mut streams: Vec<String> = vec![String::new(); stream_count];
+        for (i, &(idx, value)) in events.iter().enumerate() {
+            let line = format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}\n",
+                names[idx]
+            );
+            streams[i % stream_count].push_str(&line);
+        }
+        streams[0].push_str("{\"type\":\"span\",\"path\":\"noise/work\",\"start_ns\":1,\"dur_ns\":5}\n");
+        let dir = std::env::temp_dir();
+        let files: Vec<std::path::PathBuf> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                let path = dir.join(format!(
+                    "scanbist_query_prop_{}_{case}_{i}.ndjson",
+                    std::process::id()
+                ));
+                let mut f = std::fs::File::create(&path).expect("temp stream writes");
+                f.write_all(text.as_bytes()).expect("temp stream writes");
+                path
+            })
+            .collect();
+
+        let command = Command::ObsQuery {
+            files: files.iter().map(|p| p.display().to_string()).collect(),
+            spec: QuerySpec {
+                types: vec!["counter".to_string()],
+                group_by: Some("name".to_string()),
+                agg: Agg::Sum,
+                field: Some("value".to_string()),
+                ..QuerySpec::default()
+            },
+        };
+        let mut out = Vec::new();
+        let code = run(&command, &mut out);
+        for path in &files {
+            std::fs::remove_file(path).ok();
+        }
+        assert_eq!(code, 0, "query over generated streams succeeds");
+        let text = String::from_utf8(out).expect("query output is UTF-8");
+
+        // Bit-identical: the rendered group value is the exact integer
+        // total the snapshot holds, not a rounded or re-associated sum.
+        assert!(
+            text.contains(&format!("\"matched\":{}", events.len())),
+            "all counter records (and nothing else) match: {text}"
+        );
+        for (name, &(n, sum)) in &expected {
+            let group = format!("{{\"key\":\"{name}\",\"n\":{n},\"value\":{sum}}}");
+            assert!(text.contains(&group), "missing group {group} in: {text}");
+        }
+        let parsed = scan_obs::json::parse(text.trim()).expect("query output parses as JSON");
+        let doc = parsed.as_object().expect("query output is an object");
+        let groups = doc["groups"].as_array().expect("groups array present");
+        assert_eq!(groups.len(), expected.len(), "one group per counter name");
+    });
+}

@@ -57,13 +57,21 @@ pub fn diagnose_each_core_parallel(
     let num_cores = soc.cores().len();
     let mut rows = Vec::with_capacity(num_cores);
     for (index, core) in soc.cores().iter().enumerate() {
-        let _span = scan_obs::span!("core[{}]", core.name());
-        let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
-        let reports = crate::parallel::run_schemes(&campaign, schemes, threads)?;
-        rows.push(CoreRow {
-            core: core.name().to_owned(),
-            reports,
-        });
+        {
+            let _span = scan_obs::span!("core[{}]", core.name());
+            let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
+            let reports = crate::parallel::run_schemes(&campaign, schemes, threads)?;
+            rows.push(CoreRow {
+                core: core.name().to_owned(),
+                reports,
+            });
+        }
+        // Fold this thread's shard at the core boundary so live
+        // telemetry (sampler ticks, SLO evaluation, a mid-sweep
+        // /metrics scrape) sees per-core progress rather than one
+        // burst at process exit. The core span is closed above, so
+        // nothing open is discarded.
+        scan_obs::flush_thread();
         scan_obs::progress::tick("soc_cores", index + 1, num_cores);
     }
     Ok(rows)
@@ -98,13 +106,19 @@ pub fn diagnose_each_core_robust(
     let num_cores = soc.cores().len();
     let mut rows = Vec::with_capacity(num_cores);
     for (index, core) in soc.cores().iter().enumerate() {
-        let _span = scan_obs::span!("core[{}]", core.name());
-        let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
-        let report = crate::parallel::run_robust(&campaign, scheme, noise, policy, threads)?;
-        rows.push(RobustCoreRow {
-            core: core.name().to_owned(),
-            report,
-        });
+        {
+            let _span = scan_obs::span!("core[{}]", core.name());
+            let campaign = PreparedCampaign::from_soc(soc, index, spec)?;
+            let report =
+                crate::parallel::run_robust(&campaign, scheme, noise, policy, threads)?;
+            rows.push(RobustCoreRow {
+                core: core.name().to_owned(),
+                report,
+            });
+        }
+        // Same per-core fold as `diagnose_each_core_parallel`: live
+        // telemetry sees each core land as it completes.
+        scan_obs::flush_thread();
         scan_obs::progress::tick("soc_cores", index + 1, num_cores);
     }
     Ok(rows)

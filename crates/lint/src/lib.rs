@@ -23,6 +23,7 @@
 //! | L007 | `nonexhaustive-public-errors` | pub error enums are `#[non_exhaustive]` |
 //! | L008 | `no-silent-empty-intersection` | call `diagnose_checked`, not `diagnose` |
 //! | L009 | `no-blocking-io-inside-span` | no socket/file writes under a live span |
+//! | L010 | `no-unwrap-in-obs-hot-path` | no `unwrap`/`expect` in obs serve/slo/recorder/timeseries |
 //!
 //! Suppression is always explicit and always justified: a per-rule
 //! path allowance in the checked-in `lint.toml` (with a mandatory

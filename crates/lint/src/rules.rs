@@ -1,4 +1,4 @@
-//! The rule set: nine workspace-contract lints over the token stream
+//! The rule set: ten workspace-contract lints over the token stream
 //! (Rust sources) and a line-oriented manifest check (`Cargo.toml`).
 //!
 //! Each rule has an id, short name, severity, and fix-hint; findings
@@ -46,6 +46,19 @@ const SPAN_IO_CRATES: &[&str] = &[
     "crates/bist/",
     "crates/soc/",
     "crates/obs/",
+];
+
+/// Observability hot paths where a panic is a telemetry outage — or
+/// worse: the flight recorder's panic hook runs on *every* panic, the
+/// SLO evaluator and sampler run on a background thread whose death
+/// silently stops sampling, and the serve module answers scrapes
+/// mid-campaign. `unwrap()`/`expect()` here turn a recoverable hiccup
+/// into a lost black box, so L010 denies them outside `#[cfg(test)]`.
+const OBS_HOT_PATHS: &[&str] = &[
+    "crates/obs/src/serve.rs",
+    "crates/obs/src/slo.rs",
+    "crates/obs/src/recorder.rs",
+    "crates/obs/src/timeseries.rs",
 ];
 
 fn under(path: &str, prefixes: &[&str]) -> bool {
@@ -289,7 +302,77 @@ pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
     if under(file, SPAN_IO_CRATES) {
         findings.extend(check_span_blocking_io(file, &sig));
     }
+    if under(file, OBS_HOT_PATHS) {
+        findings.extend(check_obs_unwrap(file, &sig));
+    }
     (findings, unsafe_lines)
+}
+
+/// L010 — `no-unwrap-in-obs-hot-path`: within [`OBS_HOT_PATHS`], no
+/// `.unwrap()` or `.expect(…)` call outside `#[cfg(test)]` items. The
+/// observability layer must degrade, not die: a panic in the sampler
+/// thread stops all sampling, a panic under the recorder's own panic
+/// hook loses the black box, and a panic while serving a scrape kills
+/// the endpoint mid-campaign. Use the poison-recovering `lock()`
+/// helpers, `let … else` with a logged fallback, or propagate an
+/// error. Test modules are exempt — a test *should* panic on a broken
+/// invariant.
+fn check_obs_unwrap(file: &str, sig: &[&Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut depth = 0usize;
+    // Depth of the brace block owned by an active `#[cfg(test)]`
+    // attribute; tokens inside it are exempt.
+    let mut skip_until: Option<usize> = None;
+    let mut pending_cfg_test = false;
+    for (i, token) in sig.iter().enumerate() {
+        if token.is_punct('{') {
+            depth += 1;
+            if pending_cfg_test && skip_until.is_none() {
+                skip_until = Some(depth);
+                pending_cfg_test = false;
+            }
+        } else if token.is_punct('}') {
+            if skip_until == Some(depth) {
+                skip_until = None;
+            }
+            depth = depth.saturating_sub(1);
+        }
+        if skip_until.is_some() || token.kind != TokenKind::Ident {
+            continue;
+        }
+        // `#[cfg(test)]` — the next brace block is the test item.
+        if token.is_ident("cfg")
+            && i >= 2
+            && sig[i - 1].is_punct('[')
+            && sig[i - 2].is_punct('#')
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && sig.get(i + 2).is_some_and(|t| t.is_ident("test"))
+        {
+            pending_cfg_test = true;
+            continue;
+        }
+        if (token.is_ident("unwrap") || token.is_ident("expect"))
+            && i > 0
+            && sig[i - 1].is_punct('.')
+            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(finding(
+                "L010",
+                "no-unwrap-in-obs-hot-path",
+                file,
+                token.line,
+                token.col,
+                format!(
+                    "`.{}(…)` in an observability hot path — a panic here kills \
+                     the sampler/recorder/endpoint instead of degrading",
+                    token.text
+                ),
+                "recover instead of panicking: poison-recovering lock() helpers, \
+                 `let … else` with a logged fallback, or propagate the error",
+            ));
+        }
+    }
+    findings
 }
 
 /// L009 — `no-blocking-io-inside-span`: within [`SPAN_IO_CRATES`], no
@@ -783,6 +866,43 @@ mod tests {
         assert_eq!(
             rules_of(&rust_findings("crates/obs/src/a.rs", sig_dirty)),
             vec!["L009"]
+        );
+    }
+
+    #[test]
+    fn l010_flags_unwrap_in_obs_hot_paths_only() {
+        let bad = "fn f() { let g = lock().unwrap(); g.expect(\"state\"); }";
+        assert_eq!(
+            rules_of(&rust_findings("crates/obs/src/slo.rs", bad)),
+            vec!["L010", "L010"]
+        );
+        for file in [
+            "crates/obs/src/serve.rs",
+            "crates/obs/src/recorder.rs",
+            "crates/obs/src/timeseries.rs",
+        ] {
+            assert_eq!(
+                rules_of(&rust_findings(file, "fn f() { x.unwrap(); }")),
+                vec!["L010"],
+                "{file}"
+            );
+        }
+        // Other obs modules — and everything else — are out of scope.
+        assert!(rust_findings("crates/obs/src/export.rs", bad).is_empty());
+        assert!(rust_findings("crates/core/src/a.rs", bad).is_empty());
+
+        // Non-panicking relatives do not fire, nor do definitions.
+        let clean = "fn f() { let g = lock().unwrap_or_else(PoisonError::into_inner); \
+                     let v = x.unwrap_or(0); } fn unwrap() {}";
+        assert!(rust_findings("crates/obs/src/slo.rs", clean).is_empty());
+
+        // `#[cfg(test)]` items are exempt; code after them is not.
+        let mixed = "fn f() { x.ok(); }\n\
+                     #[cfg(test)]\nmod tests { fn t() { x.unwrap(); y.expect(\"e\"); } }\n\
+                     fn g() { z.unwrap(); }";
+        assert_eq!(
+            rules_of(&rust_findings("crates/obs/src/recorder.rs", mixed)),
+            vec!["L010"]
         );
     }
 

@@ -10,7 +10,7 @@ use std::process::Command;
 
 use scan_lint::{lint_workspace, load_config, Config};
 
-/// All nine rules with their seeded fixture directory.
+/// All ten rules with their seeded fixture directory.
 const RULES: &[(&str, &str)] = &[
     ("L001", "l001"),
     ("L002", "l002"),
@@ -21,6 +21,7 @@ const RULES: &[(&str, &str)] = &[
     ("L007", "l007"),
     ("L008", "l008"),
     ("L009", "l009"),
+    ("L010", "l010"),
 ];
 
 fn fixture(name: &str) -> PathBuf {

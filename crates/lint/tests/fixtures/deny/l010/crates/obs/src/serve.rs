@@ -1,0 +1,14 @@
+// Fixture: panicking call in an observability hot path (L010). The
+// endpoint thread must degrade on a poisoned lock, not die mid-scrape.
+pub fn respond(state: &std::sync::Mutex<u64>) -> u64 {
+    *state.lock().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let state = std::sync::Mutex::new(7);
+        assert_eq!(*state.lock().unwrap(), 7);
+    }
+}

@@ -6,8 +6,10 @@
 //!   object with a known `type` — trace events (`meta`/`span`/
 //!   `counter`/`hist`), live-telemetry records (`ts` time series,
 //!   `context` trace correlation), diagnosis audit events (`fault`),
-//!   fault-tolerant recovery events (`retry`/`vote`/`fallback`), and
-//!   static-analysis events from `scan-lint` (`finding`/`lint`) are
+//!   fault-tolerant recovery events (`retry`/`vote`/`fallback`),
+//!   static-analysis events from `scan-lint` (`finding`/`lint`), SLO
+//!   alert transitions (`alert`), and flight-recorder records
+//!   (`flight` header, `delta` counter movements, `tick` markers) are
 //!   all accepted; an optional `"trace"` stamp on any line must be
 //!   consistent across the stream;
 //! * a collapsed-stack profile (`.folded`, or any non-JSON text):
@@ -26,8 +28,9 @@
 //!   stream reachable from the root (no orphans, no cycles).
 //! * `obs-check --scrape <host:port>` — a std-only HTTP client for the
 //!   live `--serve-metrics` endpoint: GETs `/healthz`, `/metrics`
-//!   (validated as Prometheus text exposition), and `/metrics.json`
-//!   (validated as a metrics snapshot).
+//!   (validated as Prometheus text exposition), `/metrics.json`
+//!   (validated as a metrics snapshot), and `/alerts.json` (validated
+//!   as a versioned alert-status document).
 //!
 //! Exits nonzero with a message on the first failure —
 //! `scripts/verify.sh` runs this against an instrumented smoke
@@ -45,6 +48,8 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut findings = 0usize;
     let mut series = 0usize;
     let mut contexts = 0usize;
+    let mut alerts = 0usize;
+    let mut flights = 0usize;
     let mut lines = 0usize;
     let mut stamp: Option<String> = None;
     for (index, line) in text.lines().enumerate() {
@@ -115,6 +120,24 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
                 check_lint_summary(&value)
                     .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
             }
+            "alert" => {
+                check_alert_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                alerts += 1;
+            }
+            "flight" => {
+                check_flight_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                flights += 1;
+            }
+            "delta" => {
+                check_delta_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+            }
+            "tick" => {
+                check_tick_event(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+            }
             other => {
                 return Err(format!(
                     "{path}:{}: unknown event type `{other}`",
@@ -129,11 +152,103 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     if contexts > 1 {
         return Err(format!("{path}: {contexts} context records (want at most 1)"));
     }
+    if flights > 1 {
+        return Err(format!("{path}: {flights} flight headers (want at most 1)"));
+    }
     eprintln!(
         "obs-check: {path}: {lines} event(s), {spans} span(s), {faults} fault audit(s), \
-         {recoveries} recovery event(s), {findings} lint finding(s), {series} series, \
-         {contexts} context(s) OK"
+         {recoveries} recovery event(s), {findings} lint finding(s), {alerts} alert(s), \
+         {series} series, {contexts} context(s) OK"
     );
+    Ok(())
+}
+
+/// An SLO alert transition from `scan_obs::slo`: the rule and series
+/// it fired on, a `firing`/`resolved` state, the observed value, the
+/// configured threshold, and the epoch offset of the transition.
+fn check_alert_event(value: &Value) -> Result<(), String> {
+    for member in ["rule", "series"] {
+        if value.get(member).and_then(Value::as_str).is_none() {
+            return Err(format!("alert event missing string \"{member}\""));
+        }
+    }
+    let state = value.get("state").and_then(Value::as_str);
+    if !matches!(state, Some("firing" | "resolved")) {
+        return Err("alert event missing state firing|resolved".to_owned());
+    }
+    for member in ["value", "threshold"] {
+        if value.get(member).and_then(Value::as_f64).is_none() {
+            return Err(format!("alert event missing numeric \"{member}\""));
+        }
+    }
+    let at_ok = value
+        .get("at_ns")
+        .and_then(Value::as_f64)
+        .is_some_and(|v| v >= 0.0);
+    if !at_ok {
+        return Err("alert event missing non-negative \"at_ns\"".to_owned());
+    }
+    Ok(())
+}
+
+/// The flight-recorder dump header: a known format version, the dump
+/// reason, the dumping process, and the number of ring events that
+/// follow.
+fn check_flight_event(value: &Value) -> Result<(), String> {
+    let version = value.get("version").and_then(Value::as_f64);
+    if version != Some(1.0) {
+        return Err("flight event missing \"version\" 1".to_owned());
+    }
+    let reason = value.get("reason").and_then(Value::as_str);
+    if !matches!(reason, Some("panic" | "error")) {
+        return Err("flight event missing reason panic|error".to_owned());
+    }
+    if value.get("process").and_then(Value::as_str).is_none() {
+        return Err("flight event missing string \"process\"".to_owned());
+    }
+    for member in ["at_ns", "events"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("flight event missing non-negative \"{member}\""));
+        }
+    }
+    Ok(())
+}
+
+/// One counter movement captured by the flight recorder between two
+/// sampler ticks: the counter name, the increment, and the running
+/// total after it.
+fn check_delta_event(value: &Value) -> Result<(), String> {
+    if value.get("name").and_then(Value::as_str).is_none() {
+        return Err("delta event missing string \"name\"".to_owned());
+    }
+    for member in ["delta", "total", "at_ns"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("delta event missing non-negative \"{member}\""));
+        }
+    }
+    Ok(())
+}
+
+/// A sampler-tick marker in the flight ring: when it happened and how
+/// many counters/histograms the snapshot held.
+fn check_tick_event(value: &Value) -> Result<(), String> {
+    for member in ["at_ns", "counters", "histograms"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("tick event missing non-negative \"{member}\""));
+        }
+    }
     Ok(())
 }
 
@@ -523,6 +638,17 @@ fn check_scrape(addr: &str) -> Result<(), String> {
     }
     let value = parse(&json).map_err(|e| format!("/metrics.json: {e}"))?;
     check_metrics(&format!("{addr}/metrics.json"), &value)?;
+    let (status, json) = http_get(addr, "/alerts.json")?;
+    if status != 200 {
+        return Err(format!("/alerts.json: status {status}"));
+    }
+    let value = parse(&json).map_err(|e| format!("/alerts.json: {e}"))?;
+    if value.get("version").and_then(Value::as_f64) != Some(1.0) {
+        return Err("/alerts.json: missing \"version\" 1".to_owned());
+    }
+    if value.get("alerts").and_then(Value::as_array).is_none() {
+        return Err("/alerts.json: missing \"alerts\" array".to_owned());
+    }
     eprintln!("obs-check: scrape {addr} OK ({samples} exposition sample(s))");
     Ok(())
 }

@@ -48,6 +48,16 @@ pub struct ObsConfig {
     /// Per-series ring capacity; `0` (the default) selects
     /// [`crate::timeseries::DEFAULT_CAPACITY`].
     pub ts_capacity: usize,
+    /// Path of an `slo.toml` alert-rule file to load and evaluate on
+    /// every sampler tick (see [`crate::slo`]). Implies time-series
+    /// sampling; `None` (the default) installs no rules.
+    pub slo_path: Option<PathBuf>,
+    /// Where the black-box flight recorder dumps on panic or
+    /// [`crate::recorder::dump_on_error`] (see [`crate::recorder`]).
+    /// Implies span + metrics recording and time-series sampling so the
+    /// ring has events to hold; `None` (the default) installs no
+    /// recorder.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl ObsConfig {
@@ -63,11 +73,16 @@ impl ObsConfig {
         self.trace || self.metrics || self.progress || self.profiling() || self.sampling()
     }
 
-    /// True if time-series sampling is requested (the `timeseries`
-    /// toggle or a metrics endpoint, which needs series to serve).
+    /// True if time-series sampling is requested: the `timeseries`
+    /// toggle, a metrics endpoint (which needs series to serve), SLO
+    /// rules (evaluated on the sampler tick), or the flight recorder
+    /// (fed counter deltas by the sampler tick).
     #[must_use]
     pub fn sampling(&self) -> bool {
-        self.timeseries || self.serve_addr.is_some()
+        self.timeseries
+            || self.serve_addr.is_some()
+            || self.slo_path.is_some()
+            || self.flight_path.is_some()
     }
 
     /// True if span profiling is requested (the `profile` toggle or an
@@ -81,7 +96,7 @@ impl ObsConfig {
     #[must_use]
     pub(crate) fn state_mask(&self) -> u8 {
         let mut mask = 0;
-        if self.trace || self.profiling() {
+        if self.trace || self.profiling() || self.flight_path.is_some() {
             mask |= crate::registry::TRACE | crate::registry::METRICS;
         }
         if self.metrics || self.sampling() {

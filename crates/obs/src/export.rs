@@ -14,7 +14,7 @@ use crate::registry::{Histogram, Snapshot, SpanStat};
 use crate::timeseries::{self, Sample};
 
 /// Escapes a string for embedding in JSON output.
-fn escape(text: &str) -> String {
+pub(crate) fn escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for c in text.chars() {
@@ -201,9 +201,10 @@ pub fn stamp_ndjson(text: &str, trace_id: &str) -> String {
 }
 
 /// Renders the full session NDJSON stream: the [`ndjson`] event stream
-/// plus the active time-series (`ts` records) and, when a trace
-/// context is installed, a `context` record and a `"trace"` stamp on
-/// every line. This is what [`crate::finish`] writes to
+/// plus the active time-series (`ts` records), the session's SLO alert
+/// transitions (`alert` records) and, when a trace context is
+/// installed, a `context` record and a `"trace"` stamp on every line.
+/// This is what [`crate::finish`] writes to
 /// [`crate::ObsConfig::trace_path`].
 #[must_use]
 pub fn session_ndjson(snapshot: &Snapshot) -> String {
@@ -211,6 +212,7 @@ pub fn session_ndjson(snapshot: &Snapshot) -> String {
     if let Some(store) = timeseries::active() {
         out.push_str(&ts_lines(&store.series()));
     }
+    out.push_str(&crate::slo::ndjson_lines());
     if let Some(ctx) = context::current() {
         out.push_str(&context_line(&ctx));
         out.push('\n');

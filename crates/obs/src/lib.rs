@@ -58,9 +58,12 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod progress;
+pub mod query;
+pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod serve;
+pub mod slo;
 pub mod span;
 pub mod timeseries;
 
@@ -134,6 +137,8 @@ pub fn reset() {
     registry::reset();
     context::clear();
     timeseries::clear_active();
+    slo::clear();
+    recorder::clear();
 }
 
 /// The live-telemetry runtime of one session: the background
@@ -156,7 +161,24 @@ impl Telemetry {
     }
 
     /// Stops the endpoint and the sampler (taking one final sample).
+    ///
+    /// Honors the `SCANBIST_SLO_LINGER_MS` ops/test hook first: when
+    /// the variable holds a millisecond count and a sampler is
+    /// running, the session stays open that long (capped at 10 s)
+    /// with the sampler still ticking, so shutdown-adjacent SLO
+    /// transitions — a burn-rate rule resolving once its short window
+    /// drains after the last burst of work — are observed instead of
+    /// cut off. `scripts/verify.sh` uses it to pin an exact
+    /// fire/resolve alert pair; production runs leave it unset.
     pub fn stop(self) {
+        if self.sampler.is_some() {
+            if let Some(ms) = std::env::var("SCANBIST_SLO_LINGER_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
+            }
+        }
         if let Some(server) = self.server {
             server.stop();
         }
@@ -166,17 +188,25 @@ impl Telemetry {
     }
 }
 
-/// Starts whatever live telemetry `config` asks for: the background
-/// snapshotter when [`ObsConfig::sampling`] and the `/metrics`
-/// endpoint when [`ObsConfig::serve_addr`] is set. Returns an inert
-/// [`Telemetry`] when neither is requested. Call after [`init`].
+/// Starts whatever live telemetry `config` asks for: SLO alert rules
+/// loaded from [`ObsConfig::slo_path`], the black-box flight recorder
+/// at [`ObsConfig::flight_path`] (with its process-wide panic hook),
+/// the background snapshotter when [`ObsConfig::sampling`], and the
+/// `/metrics` endpoint when [`ObsConfig::serve_addr`] is set. Returns
+/// an inert [`Telemetry`] when none is requested. Call after [`init`].
 ///
 /// # Errors
 ///
-/// Propagates the endpoint bind failure (the address is in the
-/// message).
+/// Propagates the endpoint bind failure and `slo.toml` read/parse
+/// failures (the offending path is in the message).
 pub fn start_telemetry(config: &ObsConfig) -> std::io::Result<Telemetry> {
     let mut telemetry = Telemetry::default();
+    if let Some(path) = &config.slo_path {
+        slo::install(slo::SloConfig::load(path)?);
+    }
+    if let Some(path) = &config.flight_path {
+        recorder::install(path, 0);
+    }
     if config.sampling() {
         let store = std::sync::Arc::new(timeseries::TimeSeriesStore::new(config.ts_capacity));
         timeseries::set_active(std::sync::Arc::clone(&store));

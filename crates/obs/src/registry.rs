@@ -324,6 +324,11 @@ pub(crate) fn pop_span() {
         stat.self_ns += dur.saturating_sub(open.child_ns);
         stat.max_ns = stat.max_ns.max(dur);
         let thread = s.thread;
+        // Flight-recorder hook: one relaxed load when no recorder is
+        // installed, a bounded ring push when one is.
+        if crate::recorder::span_hook_enabled() {
+            crate::recorder::record_span_close(&open.path, thread, open.start_ns, end_ns);
+        }
         s.events.push(SpanEvent {
             path: open.path,
             thread,

@@ -7,9 +7,12 @@
 //! workspace's offline constraint.
 //!
 //! Layout: stat tiles (wall time, span/process counts, robust-retry
-//! and fault-drop totals), the cross-process trace tree, a span
-//! waterfall (SVG, one lane colour per process), per-series
-//! sparklines from `ts` records, and counter/histogram tables. Every
+//! and fault-drop totals), the SLO alert panel (from `alert`
+//! records), the cross-process trace tree, a span waterfall (SVG, one
+//! lane colour per process), per-series sparklines from `ts` records,
+//! and counter/histogram tables. Both capped charts (waterfall ≤ 96
+//! rows, sparklines ≤ 48 series) say "showing N of M" whenever they
+//! truncate. Every
 //! value shown in a chart is also in a table, charts carry native
 //! `<title>` tooltips, and text always uses ink tokens while marks
 //! carry the series colour; the categorical palette is a fixed-order,
@@ -43,6 +46,16 @@ struct Stream {
     spans: Vec<(String, u64, u64)>, // (path, start_ns, end_ns)
 }
 
+/// One SLO alert transition harvested from an `alert` record.
+struct AlertRow {
+    rule: String,
+    series: String,
+    state: String,
+    value: f64,
+    threshold: f64,
+    at_ns: u64,
+}
+
 /// Everything harvested from all inputs, merged.
 #[derive(Default)]
 struct Harvest {
@@ -50,6 +63,7 @@ struct Harvest {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<(u64, u64)>>,
+    alerts: Vec<AlertRow>,
     audit_events: BTreeMap<String, u64>, // fault/retry/vote/fallback/... counts
 }
 
@@ -168,6 +182,25 @@ fn ingest_record(value: &Value, stream: &mut Stream, harvest: &mut Harvest) -> b
                 harvest.series.insert(name.to_owned(), points);
             }
         }
+        "alert" => {
+            if let (Some(rule), Some(series), Some(state)) = (
+                value.get("rule").and_then(Value::as_str),
+                value.get("series").and_then(Value::as_str),
+                value.get("state").and_then(Value::as_str),
+            ) {
+                harvest.alerts.push(AlertRow {
+                    rule: rule.to_owned(),
+                    series: series.to_owned(),
+                    state: state.to_owned(),
+                    value: value.get("value").and_then(Value::as_f64).unwrap_or(0.0),
+                    threshold: value
+                        .get("threshold")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                    at_ns: as_u64(value.get("at_ns").and_then(Value::as_f64).unwrap_or(0.0)),
+                });
+            }
+        }
         "meta" => {}
         other => {
             // Audit-trail records (fault/retry/vote/fallback/finding/…):
@@ -274,6 +307,19 @@ fn process_name(stream: &Stream) -> String {
         .unwrap_or_else(|| stream.label.clone())
 }
 
+/// The categorical colour class for stream `i`: one of the eight
+/// palette slots, or the muted fold colour past the eighth. Every
+/// identity mark — waterfall bar, legend swatch, tree swatch — uses
+/// this one mapping, so a ninth process can never wear the first
+/// slot's colour in one view and the fold colour in another.
+fn series_class(i: usize) -> String {
+    if i < SERIES_SLOTS {
+        format!("s{i}")
+    } else {
+        "sother".to_owned()
+    }
+}
+
 fn tile(label: &str, value: &str, note: &str) -> String {
     format!(
         "<div class=\"tile\"><div class=\"tile-label\">{}</div>\
@@ -301,6 +347,7 @@ fn render_html(harvest: &Harvest, title: &str) -> String {
         if harvest.streams.len() == 1 { "" } else { "s" }
     );
     body.push_str(&render_tiles(harvest));
+    body.push_str(&render_alerts(harvest));
     body.push_str(&render_trace_tree(harvest));
     body.push_str(&render_waterfall(harvest));
     body.push_str(&render_sparklines(harvest));
@@ -382,8 +429,8 @@ fn render_trace_tree(harvest: &Harvest) -> String {
         if stream.parent_span.is_none() {
             let _ = writeln!(
                 out,
-                "<li><span class=\"swatch s{}\"></span><code>{}</code> (root)</li>",
-                i % SERIES_SLOTS,
+                "<li><span class=\"swatch {}\"></span><code>{}</code> (root)</li>",
+                series_class(i),
                 escape_html(&process_name(stream))
             );
         }
@@ -396,8 +443,8 @@ fn render_trace_tree(harvest: &Harvest) -> String {
                 .any(|other| other.spans.iter().any(|(path, _, _)| path == parent));
             let _ = writeln!(
                 out,
-                "<li class=\"child\"><span class=\"swatch s{}\"></span><code>{}</code> under <code>{}</code>{}</li>",
-                i % SERIES_SLOTS,
+                "<li class=\"child\"><span class=\"swatch {}\"></span><code>{}</code> under <code>{}</code>{}</li>",
+                series_class(i),
                 escape_html(&process_name(stream)),
                 escape_html(parent),
                 if resolved { "" } else { " <em>(orphan: parent span not found)</em>" }
@@ -459,11 +506,7 @@ fn render_waterfall(harvest: &Harvest) -> String {
         let y = row as f64 * row_h + 4.0;
         let x = label_w + plot_w * start as f64 / t_max as f64;
         let w = (plot_w * (end.saturating_sub(start)) as f64 / t_max as f64).max(1.5);
-        let color_class = if stream_idx < SERIES_SLOTS {
-            format!("s{stream_idx}")
-        } else {
-            "sother".to_owned()
-        };
+        let color_class = series_class(stream_idx);
         let label = path.rsplit('/').next().unwrap_or(path);
         let depth = path.matches('/').count();
         let _ = writeln!(
@@ -490,8 +533,8 @@ fn render_waterfall(harvest: &Harvest) -> String {
         for (i, stream) in harvest.streams.iter().enumerate() {
             let _ = write!(
                 out,
-                "<li><span class=\"swatch s{}\"></span>{}</li>",
-                i.min(SERIES_SLOTS - 1),
+                "<li><span class=\"swatch {}\"></span>{}</li>",
+                series_class(i),
                 escape_html(&process_name(stream))
             );
         }
@@ -503,15 +546,20 @@ fn render_waterfall(harvest: &Harvest) -> String {
 
 fn render_sparklines(harvest: &Harvest) -> String {
     use std::fmt::Write as _;
-    if harvest.series.is_empty() {
+    // Filter empty series *before* applying the cap: the cap counts
+    // rendered sparklines, so the "showing N of M" marker below never
+    // overstates what is on screen.
+    let drawable: Vec<(&String, &Vec<(u64, u64)>)> = harvest
+        .series
+        .iter()
+        .filter(|(_, samples)| !samples.is_empty())
+        .collect();
+    if drawable.is_empty() {
         return String::new();
     }
+    let shown = &drawable[..drawable.len().min(MAX_SPARKLINES)];
     let mut out = String::from("<section><h2>Time series</h2>\n<div class=\"sparks\">\n");
-    let shown = harvest.series.iter().take(MAX_SPARKLINES);
-    for (name, samples) in shown {
-        if samples.is_empty() {
-            continue;
-        }
+    for &(name, samples) in shown {
         let w = 220.0;
         let h = 44.0;
         let t0 = samples[0].0;
@@ -548,15 +596,62 @@ fn render_sparklines(harvest: &Harvest) -> String {
         );
     }
     out.push_str("</div>\n");
-    if harvest.series.len() > MAX_SPARKLINES {
+    if shown.len() < drawable.len() {
         let _ = writeln!(
             out,
             "<p class=\"note\">showing {} of {} series</p>",
-            MAX_SPARKLINES,
-            harvest.series.len()
+            shown.len(),
+            drawable.len()
         );
     }
     out.push_str("</section>\n");
+    out
+}
+
+fn render_alerts(harvest: &Harvest) -> String {
+    use std::fmt::Write as _;
+    if harvest.alerts.is_empty() {
+        return String::new();
+    }
+    let firing = harvest
+        .alerts
+        .iter()
+        .filter(|a| a.state == "firing")
+        .count();
+    let mut out = String::from("<section><h2>SLO alerts</h2>\n");
+    let _ = writeln!(
+        out,
+        "<p class=\"note\">{} transition{} · {} firing</p>",
+        harvest.alerts.len(),
+        if harvest.alerts.len() == 1 { "" } else { "s" },
+        firing
+    );
+    out.push_str(
+        "<table><thead><tr><th>rule</th><th>series</th><th>state</th>\
+         <th class=\"num\">value</th><th class=\"num\">threshold</th>\
+         <th class=\"num\">at</th></tr></thead><tbody>\n",
+    );
+    for alert in &harvest.alerts {
+        let badge = if alert.state == "firing" {
+            "badge-firing"
+        } else {
+            "badge-ok"
+        };
+        let _ = writeln!(
+            out,
+            "<tr><td><code>{}</code></td><td><code>{}</code></td>\
+             <td><span class=\"badge {badge}\">{}</span></td>\
+             <td class=\"num\">{:.2}</td><td class=\"num\">{:.2}</td>\
+             <td class=\"num\">{}</td></tr>",
+            escape_html(&alert.rule),
+            escape_html(&alert.series),
+            escape_html(&alert.state),
+            alert.value,
+            alert.threshold,
+            fmt_duration(alert.at_ns),
+        );
+    }
+    out.push_str("</tbody></table></section>\n");
     out
 }
 
@@ -676,6 +771,10 @@ th, td { text-align: left; padding: 4px 12px 4px 0;
 th { color: var(--ink-muted); font-weight: 500; }
 td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 .note { color: var(--ink-muted); font-size: 12px; }
+.badge { display: inline-block; padding: 1px 8px; border-radius: 9px;
+  font-size: 12px; font-weight: 600; }
+.badge-firing { background: var(--s7); color: #ffffff; }
+.badge-ok { background: var(--grid); color: var(--ink-2); }
 footer { color: var(--ink-muted); font-size: 12px; margin-top: 8px; }
 code { font-family: ui-monospace, monospace; }
 "#;
@@ -759,5 +858,121 @@ mod tests {
         };
         let html = render(&[snap], "snap").expect("render");
         assert!(html.contains("a.b"));
+    }
+
+    #[test]
+    fn renders_alert_panel_from_alert_records() {
+        let input = ReportInput {
+            label: "trace.ndjson".into(),
+            text: concat!(
+                "{\"type\":\"alert\",\"rule\":\"diag-p99\",\"series\":\"diagnose#p99\",\"state\":\"firing\",\"value\":120.5,\"threshold\":100,\"at_ns\":1000000}\n",
+                "{\"type\":\"alert\",\"rule\":\"diag-p99\",\"series\":\"diagnose#p99\",\"state\":\"resolved\",\"value\":80,\"threshold\":100,\"at_ns\":2000000}\n",
+            )
+            .to_owned(),
+        };
+        let html = render(&[input], "alerts").expect("render");
+        assert!(html.contains("SLO alerts"));
+        assert!(html.contains("diag-p99"));
+        assert!(html.contains("badge-firing"));
+        assert!(html.contains("badge-ok"));
+        assert!(html.contains("1 firing"));
+        // Alerts are a first-class panel, not a generic audit tally.
+        assert!(!html.contains("Audit events"));
+    }
+
+    #[test]
+    fn waterfall_truncation_says_showing_n_of_m() {
+        use std::fmt::Write as _;
+        let mut text = String::from(
+            "{\"type\":\"context\",\"trace_id\":\"00aabbccddeeff11\",\"parent_span\":null,\"process\":\"p\"}\n",
+        );
+        for i in 0..(MAX_WATERFALL_ROWS + 10) {
+            let _ = writeln!(
+                text,
+                "{{\"type\":\"span\",\"path\":\"s{i}\",\"thread\":0,\"start_ns\":{i},\"end_ns\":{},\"dur_ns\":10}}",
+                i + 10
+            );
+        }
+        let input = ReportInput {
+            label: "trace.ndjson".into(),
+            text,
+        };
+        let html = render(&[input], "big").expect("render");
+        assert!(
+            html.contains(&format!(
+                "showing the first {MAX_WATERFALL_ROWS} of {} spans",
+                MAX_WATERFALL_ROWS + 10
+            )),
+            "explicit truncation marker"
+        );
+    }
+
+    #[test]
+    fn sparkline_truncation_counts_rendered_series_only() {
+        // MAX_SPARKLINES + 4 non-empty series plus 3 empty ones mixed
+        // in: the empty ones draw nothing, so the marker must count
+        // only what was actually rendered and what was drawable.
+        use std::fmt::Write as _;
+        let mut text = String::new();
+        for i in 0..(MAX_SPARKLINES + 4) {
+            let _ = writeln!(
+                text,
+                "{{\"type\":\"ts\",\"name\":\"series.{i:03}\",\"samples\":[[0,1],[100,{i}]]}}"
+            );
+        }
+        for i in 0..3 {
+            let _ = writeln!(text, "{{\"type\":\"ts\",\"name\":\"empty.{i:03}\",\"samples\":[]}}");
+        }
+        let input = ReportInput {
+            label: "trace.ndjson".into(),
+            text,
+        };
+        let html = render(&[input], "sparks").expect("render");
+        let figures = html.matches("<figure class=\"spark\">").count();
+        assert_eq!(figures, MAX_SPARKLINES, "cap counts rendered sparklines");
+        assert!(
+            html.contains(&format!(
+                "showing {MAX_SPARKLINES} of {} series",
+                MAX_SPARKLINES + 4
+            )),
+            "marker counts drawable series, not raw map size"
+        );
+    }
+
+    #[test]
+    fn sparklines_under_cap_have_no_marker() {
+        let input = sample_input();
+        let html = render(&[input], "small").expect("render");
+        assert!(!html.contains("of 1 series"), "no marker when nothing truncated");
+    }
+
+    #[test]
+    fn legend_folds_past_eighth_stream_like_the_bars() {
+        // Ten streams: bars for streams 8+ use the muted fold class, so
+        // their legend and tree swatches must too.
+        let mut inputs = Vec::new();
+        for i in 0..10 {
+            inputs.push(ReportInput {
+                label: format!("t{i}.ndjson"),
+                text: format!(
+                    "{{\"type\":\"context\",\"trace_id\":\"00aabbccddeeff11\",{}\"process\":\"proc{i}\"}}\n{{\"type\":\"span\",\"path\":\"{}\",\"thread\":0,\"start_ns\":0,\"end_ns\":10,\"dur_ns\":10}}\n",
+                    if i == 0 {
+                        String::new()
+                    } else {
+                        "\"parent_span\":\"root\",".to_owned()
+                    },
+                    if i == 0 { "root".to_owned() } else { format!("w{i}") }
+                ),
+            });
+        }
+        let html = render(&inputs, "many").expect("render");
+        assert!(
+            html.contains("<span class=\"swatch sother\"></span>proc9"),
+            "ninth-plus legend swatch folds to sother"
+        );
+        assert!(
+            !html.contains("swatch s8"),
+            "no out-of-palette class is ever emitted"
+        );
     }
 }

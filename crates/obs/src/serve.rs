@@ -178,6 +178,7 @@ fn route(target: &str) -> (u16, &'static str, String) {
                 exposition(
                     &registry::snapshot(),
                     &rollups,
+                    &crate::slo::active_alerts(),
                     registry::epoch_elapsed_ns(),
                 ),
             )
@@ -186,6 +187,11 @@ fn route(target: &str) -> (u16, &'static str, String) {
             200,
             "application/json",
             crate::export::metrics_json(&registry::snapshot()),
+        ),
+        "/alerts.json" => (
+            200,
+            "application/json",
+            alerts_json(&crate::slo::active_alerts()),
         ),
         "/healthz" => (
             200,
@@ -220,6 +226,31 @@ fn write_response(
     conn.flush()
 }
 
+/// Renders the `/alerts.json` document: the live state of every
+/// installed SLO rule.
+#[must_use]
+pub fn alerts_json(alerts: &[crate::slo::AlertStatus]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"version\":1,\"alerts\":[");
+    for (i, a) in alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"series\":{},\"state\":{},\"value\":{},\"threshold\":{},\"since_ns\":{}}}",
+            crate::export::escape(&a.rule),
+            crate::export::escape(&a.series),
+            if a.firing { "\"firing\"" } else { "\"ok\"" },
+            crate::slo::fmt_num(a.value),
+            crate::slo::fmt_num(a.threshold),
+            a.since_ns
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 // ---- Prometheus-style text exposition ----
 
 /// Maps a workspace metric name (`robust.retry.success`,
@@ -250,12 +281,18 @@ fn escape_label(value: &str) -> String {
 /// snapshot plus optional time-series rollups: counters as `counter`
 /// samples, histograms as cumulative `histogram` families
 /// (`_bucket{le=…}`/`_sum`/`_count`), span stats as labelled counter
-/// families, and rollups as `gauge` samples. Always leads with
+/// families, rollups as `gauge` samples, and SLO alert states as
+/// `scanbist_alert_active{rule=…}` gauges. Always leads with
 /// synthesized `scanbist_up`/`scanbist_uptime_ns` gauges so a scrape
 /// early in a campaign — before any worker shard has folded into the
 /// global registry — still yields a parseable, non-empty exposition.
 #[must_use]
-pub fn exposition(snapshot: &Snapshot, rollups: &[SeriesRollup], uptime_ns: u64) -> String {
+pub fn exposition(
+    snapshot: &Snapshot,
+    rollups: &[SeriesRollup],
+    alerts: &[crate::slo::AlertStatus],
+    uptime_ns: u64,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("# TYPE scanbist_up gauge\nscanbist_up 1\n");
@@ -315,6 +352,18 @@ pub fn exposition(snapshot: &Snapshot, rollups: &[SeriesRollup], uptime_ns: u64)
                 "scanbist_series_rate_per_sec{{name=\"{}\"}} {:.6}",
                 escape_label(&r.name),
                 r.rate_per_sec
+            );
+        }
+    }
+    if !alerts.is_empty() {
+        out.push_str("# TYPE scanbist_alert_active gauge\n");
+        for a in alerts {
+            let _ = writeln!(
+                out,
+                "scanbist_alert_active{{rule=\"{}\",series=\"{}\"}} {}",
+                escape_label(&a.rule),
+                escape_label(&a.series),
+                u8::from(a.firing)
             );
         }
     }
@@ -493,7 +542,15 @@ mod tests {
             samples: 4,
             window_ns: 2_000_000_000,
         }];
-        let text = exposition(&sample_snapshot(), &rollups, 42);
+        let alerts = vec![crate::slo::AlertStatus {
+            rule: "p99-latency".into(),
+            series: "diag.latency#p99".into(),
+            firing: true,
+            value: 9.0,
+            threshold: 5.0,
+            since_ns: 17,
+        }];
+        let text = exposition(&sample_snapshot(), &rollups, &alerts, 42);
         assert!(text.contains("scanbist_up 1"));
         assert!(text.contains("scanbist_uptime_ns 42"));
         assert!(text.contains("scanbist_robust_retry_success 7"));
@@ -501,8 +558,116 @@ mod tests {
         assert!(text.contains("scanbist_diag_latency_sum 30"));
         assert!(text.contains("scanbist_span_count{path=\"campaign/fault_sim\"} 3"));
         assert!(text.contains("scanbist_series_rate_per_sec{name=\"robust.retry.success\"} 3.5"));
+        assert!(
+            text.contains(
+                "scanbist_alert_active{rule=\"p99-latency\",series=\"diag.latency#p99\"} 1"
+            ),
+            "{text}"
+        );
         let samples = validate_exposition(&text).expect("exposition must parse");
         assert!(samples >= 10, "expected many samples, got {samples}");
+    }
+
+    #[test]
+    fn exposition_survives_hostile_names_under_the_validator() {
+        // Span paths and metric names flow straight out of span! call
+        // sites: bracketed experiment names, quotes, backslashes, and
+        // newlines must all sanitize/escape into a body the 0.0.4
+        // grammar (the same one obs-check --scrape enforces) accepts.
+        let mut snap = Snapshot::default();
+        snap.counters.insert("experiment[s27].faults".into(), 3);
+        snap.counters.insert("weird name{with=braces}".into(), 1);
+        snap.histograms.insert(
+            "lat[q]#hist".into(),
+            Histogram {
+                edges: vec![1],
+                counts: vec![1, 0],
+                total: 1,
+                sum: 1,
+            },
+        );
+        for path in [
+            "all_experiments/experiment[s27]",
+            "odd\"quote",
+            "back\\slash",
+            "multi\nline",
+        ] {
+            snap.span_stats.insert(
+                path.into(),
+                crate::SpanStat {
+                    count: 1,
+                    total_ns: 10,
+                    self_ns: 10,
+                    max_ns: 10,
+                },
+            );
+        }
+        let rollups = vec![SeriesRollup {
+            name: "experiment[s27].faults".into(),
+            last: 3,
+            min: 0,
+            max: 3,
+            rate_per_sec: 0.5,
+            samples: 2,
+            window_ns: 1,
+        }];
+        let alerts = vec![crate::slo::AlertStatus {
+            rule: "odd\"rule".into(),
+            series: "lat[q]#hist#p99".into(),
+            firing: false,
+            value: 0.0,
+            threshold: 1.0,
+            since_ns: 0,
+        }];
+        let text = exposition(&snap, &rollups, &alerts, 1);
+        let samples = validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(samples >= 12, "{samples}\n{text}");
+        // Pinned: brackets fold to underscores in metric names, stay
+        // escaped-verbatim inside label values.
+        assert!(text.contains("scanbist_experiment_s27__faults 3"), "{text}");
+        assert!(
+            text.contains("scanbist_span_count{path=\"all_experiments/experiment[s27]\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("scanbist_span_count{path=\"odd\\\"quote\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("scanbist_span_count{path=\"back\\\\slash\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("scanbist_span_count{path=\"multi\\nline\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn alerts_json_renders_states() {
+        let doc = alerts_json(&[crate::slo::AlertStatus {
+            rule: "r1".into(),
+            series: "s1".into(),
+            firing: true,
+            value: 2.5,
+            threshold: 2.0,
+            since_ns: 7,
+        }]);
+        let value = crate::json::parse(&doc).expect("valid json");
+        let alerts = value
+            .get("alerts")
+            .and_then(crate::json::Value::as_array)
+            .expect("alerts array");
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(
+            alerts[0].get("state").and_then(crate::json::Value::as_str),
+            Some("firing")
+        );
+        assert_eq!(
+            alerts[0].get("value").and_then(crate::json::Value::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(alerts_json(&[]), "{\"version\":1,\"alerts\":[]}");
     }
 
     #[test]

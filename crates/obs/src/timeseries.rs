@@ -199,6 +199,32 @@ impl TimeSeriesStore {
     }
 }
 
+/// Rate per second of `samples` over the trailing `window_ns` window.
+///
+/// Only samples whose offset lies within `window_ns` of the newest
+/// sample participate. The rate is the first-to-last delta of that
+/// subset divided by its *observed* span — when fewer samples than the
+/// window exist the span is clamped to what was actually seen, never
+/// extrapolated to the nominal window width. Zero when the subset
+/// holds fewer than two samples or spans zero time.
+#[must_use]
+pub fn windowed_rate(samples: &[Sample], window_ns: u64) -> f64 {
+    let Some(&(last_t, last_v)) = samples.last() else {
+        return 0.0;
+    };
+    let cutoff = last_t.saturating_sub(window_ns);
+    let start = samples.partition_point(|&(t, _)| t < cutoff);
+    let window = &samples[start..];
+    let Some(&(first_t, first_v)) = window.first() else {
+        return 0.0;
+    };
+    let span_ns = last_t.saturating_sub(first_t);
+    if window.len() < 2 || span_ns == 0 {
+        return 0.0;
+    }
+    (last_v as f64 - first_v as f64) * 1e9 / span_ns as f64
+}
+
 /// Nearest-rank quantile estimate from a fixed-bucket histogram: the
 /// inclusive upper edge of the bucket containing the `q`-quantile
 /// observation (the last finite edge for overflow-bucket hits). Exact
@@ -259,11 +285,11 @@ pub struct Sampler {
 impl Sampler {
     /// Starts the sampler thread. `interval_ms == 0` selects
     /// [`DEFAULT_INTERVAL_MS`]. Takes an immediate first sample so even
-    /// sessions shorter than one interval record a point.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the OS refuses to spawn the sampler thread.
+    /// sessions shorter than one interval record a point. If the OS
+    /// refuses to spawn the thread the sampler degrades to a synchronous
+    /// one-shot (the immediate sample plus the final one on stop) and
+    /// logs the failure to stderr — observability must never take the
+    /// host process down (lint L010).
     #[must_use]
     pub fn start(store: Arc<TimeSeriesStore>, interval_ms: u64) -> Sampler {
         let interval = Duration::from_millis(if interval_ms == 0 {
@@ -292,11 +318,18 @@ impl Sampler {
                         sample_once(&thread_store);
                     }
                 }
-            })
-            .expect("spawn obs-sampler thread");
+            });
+        let handle = match handle {
+            Ok(handle) => Some(handle),
+            Err(err) => {
+                eprintln!("obs: cannot spawn obs-sampler thread ({err}); sampling degraded");
+                sample_once(&store);
+                None
+            }
+        };
         Sampler {
             stop,
-            handle: Some(handle),
+            handle,
             store,
         }
     }
@@ -329,7 +362,10 @@ impl Drop for Sampler {
 
 fn sample_once(store: &TimeSeriesStore) {
     let snapshot = registry::snapshot();
-    store.sample(&snapshot, registry::epoch_elapsed_ns());
+    let now_ns = registry::epoch_elapsed_ns();
+    store.sample(&snapshot, now_ns);
+    crate::slo::evaluate_tick(store, now_ns);
+    crate::recorder::record_tick(&snapshot, now_ns);
 }
 
 #[cfg(test)]
@@ -362,6 +398,31 @@ mod tests {
         assert_eq!(r.samples, 2);
         assert_eq!(r.window_ns, 3_000_000_000);
         assert!((r.rate_per_sec - 100.0).abs() < 1e-9, "{}", r.rate_per_sec);
+    }
+
+    #[test]
+    fn windowed_rate_clamps_to_observed_span() {
+        // 0 samples: no rate.
+        assert!((windowed_rate(&[], 1_000) - 0.0).abs() < f64::EPSILON);
+        // 1 sample: no span to rate over.
+        assert!((windowed_rate(&[(500, 10)], 1_000) - 0.0).abs() < f64::EPSILON);
+        // window-1 samples (window would hold 4 at the 1s cadence, we
+        // have 3 spanning 2s): the rate must use the observed 2s span,
+        // not extrapolate over the nominal 4s window.
+        let samples = [(1_000_000_000, 0), (2_000_000_000, 100), (3_000_000_000, 200)];
+        let rate = windowed_rate(&samples, 4_000_000_000);
+        assert!((rate - 100.0).abs() < 1e-9, "{rate}");
+        // Samples older than the window are excluded before rating.
+        let long = [
+            (0, 0),
+            (1_000_000_000, 1_000_000),
+            (9_000_000_000, 1_000_000),
+            (10_000_000_000, 1_000_000),
+        ];
+        let rate = windowed_rate(&long, 2_000_000_000);
+        assert!((rate - 0.0).abs() < 1e-9, "{rate}");
+        // Coincident timestamps cannot produce an infinite rate.
+        assert!((windowed_rate(&[(5, 1), (5, 9)], 100) - 0.0).abs() < f64::EPSILON);
     }
 
     #[test]

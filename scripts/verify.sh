@@ -27,16 +27,29 @@ echo "==> static analysis (scan-lint --deny, findings NDJSON via obs-check)"
 ./target/release/scan-lint --deny --out "$SMOKE_DIR/lint.ndjson"
 ./target/release/obs-check "$SMOKE_DIR/lint.ndjson"
 
-echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out)"
+echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out --slo)"
 ./target/release/scanbist \
     --trace --trace-out "$SMOKE_DIR/trace.ndjson" \
     --metrics-out "$SMOKE_DIR/metrics.json" \
     --profile-out "$SMOKE_DIR/profile.folded" \
     --audit-out "$SMOKE_DIR/audit.ndjson" \
+    --slo slo.toml \
     diagnose s953 --patterns 64 --faults 50 > /dev/null 2> "$SMOKE_DIR/summary.txt"
 ./target/release/obs-check \
     "$SMOKE_DIR/trace.ndjson" "$SMOKE_DIR/metrics.json" \
     "$SMOKE_DIR/profile.folded" "$SMOKE_DIR/audit.ndjson"
+
+echo "==> obs query smoke (counter sums bit-identical to the metrics snapshot)"
+./target/release/scanbist obs query "$SMOKE_DIR/trace.ndjson" \
+    --type counter --group-by name --agg sum --field value \
+    > "$SMOKE_DIR/query_counters.json"
+WANT=$(sed -n 's/.*"diagnosis\.cases":\([0-9]*\).*/\1/p' "$SMOKE_DIR/metrics.json")
+GOT=$(sed -n 's/.*"key":"diagnosis\.cases","n":[0-9]*,"value":\([0-9]*\).*/\1/p' \
+    "$SMOKE_DIR/query_counters.json")
+[ -n "$WANT" ] && [ "$WANT" = "$GOT" ] || {
+    echo "obs query sum (${GOT:-none}) != metrics snapshot total (${WANT:-none}) for diagnosis.cases"
+    exit 1
+}
 
 echo "==> engine-diff smoke (bitpar vs event audits must be identical)"
 ./target/release/scanbist \
@@ -102,12 +115,67 @@ mkdir -p "$SMOKE_DIR/join"
     > /dev/null 2>> "$SMOKE_DIR/summary.txt"
 ./target/release/obs-check --join "$SMOKE_DIR"/join/trace_*.ndjson
 
-echo "==> dashboard smoke (scanbist report, self-contained HTML)"
+echo "==> SLO alert smoke (tight burn-rate rule: exactly one fire/resolve pair)"
+cat > "$SMOKE_DIR/tight_slo.toml" <<'SLO'
+# Deliberately tight: the per-core sweep folds diagnosis.cases in
+# bursts far above 100/s, so the rule fires early in the sweep; the
+# linger window keeps the sampler ticking through the quiet tail so
+# the short window drains and the rule resolves exactly once.
+[rule.sweep-burn]
+series = "diagnosis.cases"
+kind = "burn_rate"
+rate_max = 100.0
+long_ms = 2000
+short_ms = 2000
+SLO
+SCANBIST_SLO_LINGER_MS=3000 ./target/release/table4 \
+    --slo "$SMOKE_DIR/tight_slo.toml" \
+    --trace-out "$SMOKE_DIR/alert_trace.ndjson" "$SMOKE_DIR" \
+    > /dev/null 2>> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check "$SMOKE_DIR/alert_trace.ndjson"
+FIRING=$(grep -c '"type":"alert".*"state":"firing"' "$SMOKE_DIR/alert_trace.ndjson" || true)
+RESOLVED=$(grep -c '"type":"alert".*"state":"resolved"' "$SMOKE_DIR/alert_trace.ndjson" || true)
+[ "$FIRING" = 1 ] && [ "$RESOLVED" = 1 ] || {
+    echo "alert smoke expected exactly one fire/resolve pair, got $FIRING firing / $RESOLVED resolved:"
+    grep '"type":"alert"' "$SMOKE_DIR/alert_trace.ndjson" || true
+    exit 1
+}
+
+echo "==> flight-recorder crash smoke (forced panic, dump joins the parent trace)"
+rm -rf "$SMOKE_DIR/crash"
+mkdir -p "$SMOKE_DIR/crash"
+if SCANBIST_CRASH_EXPERIMENT=table1 ./target/release/all_experiments \
+    --trace-out "$SMOKE_DIR/crash/trace_all_experiments.ndjson" \
+    --flight-recorder "$SMOKE_DIR/crash/flight_all_experiments.ndjson" \
+    --only table1,table2 "$SMOKE_DIR/crash" \
+    > /dev/null 2>> "$SMOKE_DIR/summary.txt"; then
+    echo "crash smoke: all_experiments should exit nonzero when a child panics"
+    exit 1
+fi
+[ -f "$SMOKE_DIR/crash/flight_table1.ndjson" ] || {
+    echo "crash smoke left no flight dump for the panicked child"; exit 1;
+}
+grep -q '"type":"flight".*"reason":"panic"' "$SMOKE_DIR/crash/flight_table1.ndjson" || {
+    echo "flight dump is missing its panic header record"; exit 1;
+}
+grep -q '^reason:  panic$' "$SMOKE_DIR/crash/flight_table1.txt" || {
+    echo "flight dump is missing its human-readable summary"; exit 1;
+}
+./target/release/obs-check --join \
+    "$SMOKE_DIR/crash/trace_all_experiments.ndjson" \
+    "$SMOKE_DIR/crash/trace_table2.ndjson" \
+    "$SMOKE_DIR/crash/flight_table1.ndjson"
+
+echo "==> dashboard smoke (scanbist report, self-contained HTML + alert panel)"
 ./target/release/scanbist report "$SMOKE_DIR"/join/trace_*.ndjson \
+    "$SMOKE_DIR/alert_trace.ndjson" \
     --out "$SMOKE_DIR/report.html" --title "verify smoke" \
     2>> "$SMOKE_DIR/summary.txt"
 grep -q '<!doctype html>' "$SMOKE_DIR/report.html" || {
     echo "report smoke did not render an HTML document"; exit 1;
+}
+grep -q '<h2>SLO alerts</h2>' "$SMOKE_DIR/report.html" || {
+    echo "report smoke did not render the SLO alert panel"; exit 1;
 }
 # Self-contained means self-contained: no external asset references.
 if grep -Eq 'src="https?://|href="https?://|@import' "$SMOKE_DIR/report.html"; then
