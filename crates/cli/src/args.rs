@@ -167,6 +167,28 @@ pub enum Command {
         /// The assembled filter/group/aggregate pipeline.
         spec: scan_obs::query::QuerySpec,
     },
+    /// `scanbist serve [options]` — run `scanbistd`, the
+    /// diagnosis-as-a-service daemon (see `docs/DAEMON.md`). Blocks
+    /// until drained via `POST /admin/drain`.
+    Serve {
+        /// Listen address (`host:port`; port `0` picks an ephemeral
+        /// port and prints it).
+        addr: String,
+        /// Diagnosis worker threads (`0` = one per available core).
+        workers: usize,
+        /// Bounded admission-queue capacity; a full queue sheds whole
+        /// batches with `429`.
+        queue: usize,
+        /// Maximum concurrent client connections.
+        max_connections: usize,
+        /// Default per-request deadline in milliseconds (requests may
+        /// lower it with `deadline_ms`).
+        deadline_ms: u64,
+        /// Grace period for in-flight batches during drain.
+        drain_ms: u64,
+        /// Plan-cache capacity (distinct circuit configurations).
+        cache: usize,
+    },
     /// `scanbist help` / `--help`.
     Help,
 }
@@ -313,11 +335,19 @@ where
     if obs.trace && obs.trace_path.is_none() {
         obs.trace_path = Some("trace_scanbist.ndjson".into());
     }
+    let command = parse_args(rest)?;
+    if matches!(command, Command::Serve { .. }) {
+        // The daemon serves /metrics and dashboard sparklines from its
+        // own listener, which is only useful if counters and the
+        // time-series sampler are actually running.
+        obs.metrics = true;
+        obs.timeseries = true;
+    }
     Ok(Invocation {
         json,
         obs,
         audit_path,
-        command: parse_args(rest)?,
+        command,
     })
 }
 
@@ -376,6 +406,7 @@ where
         "bench" => parse_bench(words),
         "report" => parse_report(words),
         "lint" => parse_lint(words),
+        "serve" => parse_serve(words),
         "explain" => {
             let path = take_value("explain", &mut words)?.to_owned();
             ensure_done(words)?;
@@ -620,6 +651,47 @@ where
     })
 }
 
+fn parse_serve<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
+where
+    I: Iterator<Item = &'a str>,
+{
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut workers = 0usize;
+    let mut queue = 64usize;
+    let mut max_connections = 64usize;
+    let mut deadline_ms = 2_000u64;
+    let mut drain_ms = 5_000u64;
+    let mut cache = 8usize;
+    while let Some(flag) = words.next() {
+        match flag {
+            "--addr" => take_value(flag, &mut words)?.clone_into(&mut addr),
+            "--workers" => workers = parse_num(take_value(flag, &mut words)?)?,
+            "--queue" => queue = parse_num(take_value(flag, &mut words)?)?,
+            "--max-connections" => {
+                max_connections = parse_num(take_value(flag, &mut words)?)?;
+            }
+            "--deadline-ms" => deadline_ms = parse_num(take_value(flag, &mut words)?)?,
+            "--drain-ms" => drain_ms = parse_num(take_value(flag, &mut words)?)?,
+            "--cache" => cache = parse_num(take_value(flag, &mut words)?)?,
+            other => return Err(unknown_flag(other)),
+        }
+    }
+    if queue == 0 {
+        return Err(ParseArgsError(
+            "`--queue` must be at least 1 (the queue is bounded, not absent)".into(),
+        ));
+    }
+    Ok(Command::Serve {
+        addr,
+        workers,
+        queue,
+        max_connections,
+        deadline_ms,
+        drain_ms,
+        cache,
+    })
+}
+
 fn parse_obs_query<'a, I>(mut words: I) -> Result<Command, ParseArgsError>
 where
     I: Iterator<Item = &'a str>,
@@ -749,6 +821,13 @@ COMMANDS:
                     (vendored static-analysis pass; --deny exits
                     nonzero on unsuppressed findings, --out writes
                     them as NDJSON — see docs/LINTS.md)
+  scanbist serve [--addr HOST:PORT] [--workers N] [--queue N]
+                    [--max-connections N] [--deadline-ms MS]
+                    [--drain-ms MS] [--cache N]
+                    (scanbistd: NDJSON-over-HTTP diagnosis daemon
+                    with bounded admission, per-request deadlines,
+                    and graceful shedding; SCANBIST_CHAOS injects
+                    deterministic faults — see docs/DAEMON.md)
 
 <circuit> is an ISCAS-89 benchmark name (synthetic stand-in; `s27`
 is the embedded real netlist) or a path to a `.bench` file.
@@ -822,6 +901,65 @@ mod tests {
             }
         ));
         assert!(parse_args(["diagnose", "s27", "--engine", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        assert_eq!(
+            parse_args(["serve"]).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 0,
+                queue: 64,
+                max_connections: 64,
+                deadline_ms: 2_000,
+                drain_ms: 5_000,
+                cache: 8,
+            }
+        );
+        let cmd = parse_args([
+            "serve",
+            "--addr",
+            "0.0.0.0:7311",
+            "--workers",
+            "4",
+            "--queue",
+            "16",
+            "--max-connections",
+            "32",
+            "--deadline-ms",
+            "500",
+            "--drain-ms",
+            "1000",
+            "--cache",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:7311".into(),
+                workers: 4,
+                queue: 16,
+                max_connections: 32,
+                deadline_ms: 500,
+                drain_ms: 1_000,
+                cache: 2,
+            }
+        );
+        assert!(parse_args(["serve", "--queue", "0"]).is_err(), "queue stays bounded");
+        assert!(parse_args(["serve", "--unbounded"]).is_err());
+    }
+
+    #[test]
+    fn serve_forces_metrics_and_timeseries() {
+        let invocation = parse_invocation(["serve", "--queue", "4"]).unwrap();
+        assert!(invocation.obs.metrics);
+        assert!(invocation.obs.timeseries);
+        // Other commands are untouched.
+        let invocation = parse_invocation(["stats", "s27"]).unwrap();
+        assert!(!invocation.obs.metrics);
+        assert!(!invocation.obs.timeseries);
     }
 
     #[test]

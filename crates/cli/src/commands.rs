@@ -479,6 +479,40 @@ fn execute<W: Write>(
             deny,
         } => run_lint(root, config.as_deref(), report_out.as_deref(), *deny),
         Command::ObsQuery { files, spec } => run_obs_query(files, spec, out),
+        Command::Serve {
+            addr,
+            workers,
+            queue,
+            max_connections,
+            deadline_ms,
+            drain_ms,
+            cache,
+        } => {
+            let chaos =
+                scan_daemon::ChaosConfig::from_env().map_err(|e| format!("SCANBIST_CHAOS: {e}"))?;
+            if let Some(chaos) = &chaos {
+                eprintln!("scanbistd: chaos injection enabled ({chaos:?})");
+            }
+            let daemon = scan_daemon::Daemon::start(scan_daemon::DaemonConfig {
+                addr: addr.clone(),
+                workers: *workers,
+                queue_capacity: *queue,
+                max_connections: *max_connections,
+                default_deadline_ms: *deadline_ms,
+                drain_ms: *drain_ms,
+                cache_capacity: *cache,
+                chaos,
+            })
+            .map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+            writeln!(out, "scanbistd: listening on http://{}", daemon.addr()).map_err(io_err)?;
+            // Scripts watch this line for the bound (possibly
+            // ephemeral) port, so it must not sit in a block buffer
+            // while the daemon blocks below.
+            out.flush().map_err(io_err)?;
+            daemon.wait();
+            writeln!(out, "scanbistd: drained, shutting down").map_err(io_err)?;
+            Ok(())
+        }
     }
 }
 

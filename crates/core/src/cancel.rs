@@ -1,0 +1,77 @@
+//! Cooperative cancellation for long-running diagnosis work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag that a controller (a
+//! deadline reaper thread, a draining daemon, a Ctrl-C handler) flips
+//! once and workers poll between natural checkpoints — the diagnosis
+//! engines check it **between partition sessions**, never mid-session,
+//! so a cancelled run stops at a bit-identical prefix of the
+//! uncancelled one. The token carries no clock: *when* to cancel is
+//! the caller's policy (this crate stays wall-clock free); the token
+//! only transports the decision.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag.
+///
+/// Cloning is cheap (one `Arc` bump) and every clone observes the same
+/// flag. Once cancelled a token never resets; create a fresh token per
+/// unit of cancellable work.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested. One relaxed-acquire
+    /// atomic load — cheap enough to poll per partition.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_cancel_is_sticky() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        assert!(!observer.is_cancelled());
+        token.cancel();
+        assert!(observer.is_cancelled());
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || remote.cancel());
+        });
+        assert!(token.is_cancelled());
+    }
+}

@@ -2,6 +2,7 @@
 
 use scan_netlist::BitSet;
 
+use crate::cancel::CancelToken;
 use crate::error::DiagnoseError;
 use crate::session::{DiagnosisPlan, SessionOutcome};
 
@@ -81,12 +82,39 @@ impl Diagnosis {
 /// [`Diagnosis::prefix_counts`].
 #[must_use]
 pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
+    match diagnose_cancellable(plan, outcome, &CancelToken::new()) {
+        Ok(diagnosis) => diagnosis,
+        // A fresh private token is never cancelled.
+        Err(_) => unreachable!("uncancellable diagnose cannot be cancelled"),
+    }
+}
+
+/// Like [`diagnose`], but polls `cancel` **between partition sessions**
+/// so a deadline reaper or draining service can stop a long
+/// intersection run cooperatively. The cancelled prefix is discarded —
+/// a partial intersection over-approximates the candidate set and must
+/// not be mistaken for a diagnosis.
+///
+/// # Errors
+///
+/// Returns [`DiagnoseError::Cancelled`] (with the number of partitions
+/// fully intersected) when `cancel` fires before the run completes.
+pub fn diagnose_cancellable(
+    plan: &DiagnosisPlan,
+    outcome: &SessionOutcome,
+    cancel: &CancelToken,
+) -> Result<Diagnosis, DiagnoseError> {
     let layout = plan.layout();
     let num_cells = layout.num_cells();
     let mut candidates = BitSet::full(num_cells);
     let mut prefix_counts = Vec::with_capacity(plan.partitions().len());
     let mut first_empty: Option<usize> = None;
     for (p, partition) in plan.partitions().iter().enumerate() {
+        if cancel.is_cancelled() {
+            return Err(DiagnoseError::Cancelled {
+                completed_partitions: p,
+            });
+        }
         let mut keep = BitSet::new(num_cells);
         for cell in &candidates {
             let (_, pos) = layout.coord(cell);
@@ -110,11 +138,11 @@ pub fn diagnose(plan: &DiagnosisPlan, outcome: &SessionOutcome) -> Diagnosis {
             None => DiagnosisStatus::Consistent,
         }
     };
-    Diagnosis {
+    Ok(Diagnosis {
         candidates,
         prefix_counts,
         status,
-    }
+    })
 }
 
 /// Like [`diagnose`], but surfaces histories that cannot yield a
@@ -249,6 +277,30 @@ mod tests {
             diagnose_checked(&plan, &outcome),
             Err(DiagnoseError::ContradictoryHistory { partition: 1 })
         );
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_partition() {
+        let plan = plan(100, 4, 6);
+        let outcome = plan.analyze([(42usize, 3usize)]);
+        let token = CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            diagnose_cancellable(&plan, &outcome, &token),
+            Err(DiagnoseError::Cancelled {
+                completed_partitions: 0
+            })
+        );
+    }
+
+    #[test]
+    fn live_token_is_bit_identical_to_plain_diagnose() {
+        let plan = plan(200, 8, 6);
+        let outcome = plan.analyze([(13usize, 0usize), (150, 2)]);
+        let baseline = diagnose(&plan, &outcome);
+        let cancellable = diagnose_cancellable(&plan, &outcome, &CancelToken::new())
+            .expect("live token never cancels");
+        assert_eq!(baseline, cancellable);
     }
 
     #[test]

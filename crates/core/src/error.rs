@@ -77,6 +77,15 @@ pub enum DiagnoseError {
         /// the candidate set.
         partition: usize,
     },
+    /// The run was cancelled cooperatively (deadline expiry, shutdown
+    /// drain) before all partitions were intersected. Any partial
+    /// candidate set is discarded — a prefix intersection is an
+    /// over-approximation, not a diagnosis.
+    Cancelled {
+        /// Partitions fully intersected before the cancellation was
+        /// observed.
+        completed_partitions: usize,
+    },
 }
 
 impl fmt::Display for DiagnoseError {
@@ -89,6 +98,12 @@ impl fmt::Display for DiagnoseError {
                 f,
                 "session history is contradictory: partition {partition} leaves an empty \
                  intersection"
+            ),
+            DiagnoseError::Cancelled {
+                completed_partitions,
+            } => write!(
+                f,
+                "diagnosis cancelled after {completed_partitions} completed partition(s)"
             ),
         }
     }
@@ -146,6 +161,11 @@ mod tests {
         assert!(all.to_string().contains("passed"));
         let contra = DiagnoseError::ContradictoryHistory { partition: 3 };
         assert!(contra.to_string().contains("partition 3"), "{contra}");
+        let cancelled = DiagnoseError::Cancelled {
+            completed_partitions: 2,
+        };
+        assert!(cancelled.to_string().contains("cancelled"), "{cancelled}");
+        assert!(cancelled.to_string().contains('2'), "{cancelled}");
         // Both participate in the std error ecosystem.
         let boxed: Box<dyn Error> = Box::new(contra);
         assert!(boxed.source().is_none());

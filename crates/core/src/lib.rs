@@ -52,6 +52,7 @@
 
 pub mod adaptive;
 pub mod audit;
+pub mod cancel;
 pub mod chain_mask;
 pub mod cost;
 mod diagnose;
@@ -74,11 +75,15 @@ pub mod vector_diag;
 pub mod windows;
 
 pub use audit::{AuditStep, CampaignAudit, FaultAudit, RobustAudit, RobustFaultAudit};
-pub use diagnose::{diagnose, diagnose_checked, Diagnosis, DiagnosisStatus};
+pub use cancel::CancelToken;
+pub use diagnose::{
+    diagnose, diagnose_cancellable, diagnose_checked, Diagnosis, DiagnosisStatus,
+};
 pub use error::{BuildPlanError, DiagnoseError, NoiseConfigError};
 pub use noise::{NoiseConfig, NoiseModel, ObservedOutcome, Verdict};
 pub use robust::{
-    diagnose_robust, Confidence, InconclusiveReason, RobustDiagnosis, RobustPolicy,
+    diagnose_reported, diagnose_robust, diagnose_robust_cancellable, Confidence,
+    InconclusiveReason, RobustDiagnosis, RobustPolicy,
 };
 pub use experiment::{
     lfsr_patterns, CampaignError, CampaignSpec, LocalizationReport, PreparedCampaign,

@@ -28,7 +28,9 @@
 
 use scan_netlist::BitSet;
 
-use crate::diagnose::{diagnose, DiagnosisStatus};
+use crate::cancel::CancelToken;
+use crate::diagnose::{diagnose_cancellable, DiagnosisStatus};
+use crate::error::DiagnoseError;
 use crate::noise::{NoiseModel, ObservedOutcome, Verdict};
 use crate::session::{DiagnosisPlan, SessionOutcome};
 
@@ -341,9 +343,13 @@ fn resolve_ballots(fail_votes: usize, pass_votes: usize) -> (Verdict, f64) {
 /// (Clean histories can still intersect to empty under MISR aliasing;
 /// that is the strict engine's documented behavior and is preserved
 /// here rather than misreported as noise.)
-fn noiseless_diagnosis(plan: &DiagnosisPlan, truth: &SessionOutcome) -> RobustDiagnosis {
-    let d = diagnose(plan, truth);
-    RobustDiagnosis {
+fn noiseless_diagnosis(
+    plan: &DiagnosisPlan,
+    truth: &SessionOutcome,
+    cancel: &CancelToken,
+) -> Result<RobustDiagnosis, DiagnoseError> {
+    let d = diagnose_cancellable(plan, truth, cancel)?;
+    Ok(RobustDiagnosis {
         confidence: Confidence::Exact,
         candidates: d.candidates().clone(),
         prefix_counts: d.prefix_counts().to_vec(),
@@ -353,7 +359,7 @@ fn noiseless_diagnosis(plan: &DiagnosisPlan, truth: &SessionOutcome) -> RobustDi
         inconclusive: None,
         events: Vec::new(),
         verdicts: ObservedOutcome::from_truth(truth),
-    }
+    })
 }
 
 /// Runs the fault-tolerant diagnosis loop for one fault.
@@ -372,9 +378,37 @@ pub fn diagnose_robust(
     policy: &RobustPolicy,
     fault: u64,
 ) -> RobustDiagnosis {
+    match diagnose_robust_cancellable(plan, truth, noise, policy, fault, &CancelToken::new()) {
+        Ok(robust) => robust,
+        // A fresh private token is never cancelled, and cancellation is
+        // the only error the cancellable engine can return.
+        Err(_) => unreachable!("uncancellable diagnose_robust cannot be cancelled"),
+    }
+}
+
+/// Like [`diagnose_robust`], but polls `cancel` between partition
+/// sessions (inside every strict intersection pass) and between retry
+/// rounds, so a deadline reaper or draining service can stop a
+/// long-running recovery loop cooperatively.
+///
+/// With a live (never-fired) token the result is bit-identical to
+/// [`diagnose_robust`].
+///
+/// # Errors
+///
+/// Returns [`DiagnoseError::Cancelled`] when `cancel` fires before the
+/// engine converges. Partial retry state is discarded.
+pub fn diagnose_robust_cancellable(
+    plan: &DiagnosisPlan,
+    truth: &SessionOutcome,
+    noise: &NoiseModel,
+    policy: &RobustPolicy,
+    fault: u64,
+    cancel: &CancelToken,
+) -> Result<RobustDiagnosis, DiagnoseError> {
     let _span = scan_obs::span!("diagnose_robust");
     if noise.is_noiseless() {
-        return noiseless_diagnosis(plan, truth);
+        return noiseless_diagnosis(plan, truth, cancel);
     }
 
     let mut observed = noise.observe(truth, fault, 0);
@@ -385,11 +419,16 @@ pub fn diagnose_robust(
     let mut next_attempt = 1u64;
     let votes = policy.effective_votes();
 
-    let mut strict = diagnose(plan, &observed.to_outcome());
+    let mut strict = diagnose_cancellable(plan, &observed.to_outcome(), cancel)?;
     let attempt0_clean =
         strict.status() == DiagnosisStatus::Consistent && observed.num_lost() == 0;
 
     for round in 0..policy.max_retry_rounds {
+        if cancel.is_cancelled() {
+            return Err(DiagnoseError::Cancelled {
+                completed_partitions: plan.partitions().len(),
+            });
+        }
         let flagged = flagged_sessions(&observed, strict.status());
         if flagged.is_empty() {
             break;
@@ -422,7 +461,7 @@ pub fn diagnose_robust(
         // Every retried session consumed ballot attempts from the same
         // window, so one bump keeps attempt indices deterministic.
         next_attempt += votes as u64;
-        strict = diagnose(plan, &observed.to_outcome());
+        strict = diagnose_cancellable(plan, &observed.to_outcome(), cancel)?;
     }
 
     // Start from the consistent-outcome shape and overwrite the fields
@@ -439,6 +478,20 @@ pub fn diagnose_robust(
         events,
         verdicts: observed,
     };
+    grade_final_status(plan, status, attempt0_clean, &weights, &mut result);
+    Ok(result)
+}
+
+/// Folds the post-retry strict status into the result's confidence,
+/// candidates, and fallback fields (the last step of
+/// [`diagnose_robust_cancellable`]).
+fn grade_final_status(
+    plan: &DiagnosisPlan,
+    status: DiagnosisStatus,
+    attempt0_clean: bool,
+    weights: &SessionWeights,
+    result: &mut RobustDiagnosis,
+) {
     match status {
         DiagnosisStatus::Consistent => {
             if !attempt0_clean {
@@ -461,6 +514,77 @@ pub fn diagnose_robust(
         }
         DiagnosisStatus::Contradictory { partition } => {
             scan_obs::metrics::incr("robust.fallbacks");
+            let (candidates, support) = weighted_vote(plan, &result.verdicts, weights);
+            result.events.push(RobustEvent::Fallback {
+                partition,
+                support,
+                candidates: candidates.len(),
+            });
+            result.used_fallback = true;
+            if candidates.is_empty() {
+                scan_obs::metrics::incr("robust.inconclusive");
+                result.confidence = Confidence::Inconclusive;
+                result.inconclusive = Some(InconclusiveReason::NoSupport);
+            } else {
+                result.confidence = Confidence::Degraded;
+            }
+            result.candidates = candidates;
+        }
+    }
+}
+
+/// Service-style diagnosis of an **as-reported** outcome grid: the
+/// evidence is whatever the tester already sent — there is no noise
+/// model to re-draw verdicts from and no retry budget, so recovery is
+/// limited to the weighted-voting fallback (at unit weights).
+///
+/// This is the entry point for a diagnosis *service* (one that receives
+/// signatures over the wire rather than simulating them):
+///
+/// - a consistent grid yields [`Confidence::Exact`] candidates,
+///   bit-identical to [`diagnose`];
+/// - an all-passed grid yields [`Confidence::Inconclusive`] with
+///   [`InconclusiveReason::AllPassed`] (an answer, not an error — a
+///   fault-free unit is a legitimate service response);
+/// - a contradictory grid falls back to unit-weight group voting,
+///   yielding [`Confidence::Degraded`] candidates (or
+///   [`InconclusiveReason::NoSupport`] if no cell has positive
+///   support).
+///
+/// # Errors
+///
+/// Returns [`DiagnoseError::Cancelled`] when `cancel` fires between
+/// partition sessions.
+pub fn diagnose_reported(
+    plan: &DiagnosisPlan,
+    outcome: &SessionOutcome,
+    cancel: &CancelToken,
+) -> Result<RobustDiagnosis, DiagnoseError> {
+    let _span = scan_obs::span!("diagnose_reported");
+    let strict = diagnose_cancellable(plan, outcome, cancel)?;
+    let observed = ObservedOutcome::from_truth(outcome);
+    let mut result = RobustDiagnosis {
+        confidence: Confidence::Exact,
+        candidates: strict.candidates().clone(),
+        prefix_counts: strict.prefix_counts().to_vec(),
+        retry_rounds: 0,
+        retried_sessions: 0,
+        used_fallback: false,
+        inconclusive: None,
+        events: Vec::new(),
+        verdicts: observed,
+    };
+    match strict.status() {
+        DiagnosisStatus::Consistent => {}
+        DiagnosisStatus::AllPassed => {
+            scan_obs::metrics::incr("robust.inconclusive");
+            result.confidence = Confidence::Inconclusive;
+            result.candidates = BitSet::new(plan.layout().num_cells());
+            result.inconclusive = Some(InconclusiveReason::AllPassed);
+        }
+        DiagnosisStatus::Contradictory { partition } => {
+            scan_obs::metrics::incr("robust.fallbacks");
+            let weights = SessionWeights::unit(&result.verdicts);
             let (candidates, support) = weighted_vote(plan, &result.verdicts, &weights);
             result.events.push(RobustEvent::Fallback {
                 partition,
@@ -478,12 +602,13 @@ pub fn diagnose_robust(
             result.candidates = candidates;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagnose::diagnose;
     use crate::layout::ChainLayout;
     use crate::noise::NoiseConfig;
     use crate::session::BistConfig;
@@ -678,6 +803,116 @@ mod tests {
         // Weighted voting should still cover the true failing cell:
         // 5 of 6 partitions voted for its groups at full weight.
         assert!(robust.candidates.contains(42), "fallback keeps cell 42");
+    }
+
+    #[test]
+    fn cancellable_with_live_token_matches_uncancellable() {
+        let plan = plan();
+        let truth = plan.analyze([(10usize, 1usize), (90, 7)]);
+        let mut config = NoiseConfig::noiseless(99);
+        config.flip_rate = 0.1;
+        let noise = model(config);
+        let policy = RobustPolicy::default();
+        for fault in 0..8u64 {
+            let baseline = diagnose_robust(&plan, &truth, &noise, &policy, fault);
+            let cancellable = diagnose_robust_cancellable(
+                &plan,
+                &truth,
+                &noise,
+                &policy,
+                fault,
+                &CancelToken::new(),
+            )
+            .expect("live token never cancels");
+            assert_eq!(baseline, cancellable, "fault {fault}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_robust_run_reports_cancellation() {
+        let plan = plan();
+        let truth = plan.analyze([(42usize, 3usize)]);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = diagnose_robust_cancellable(
+            &plan,
+            &truth,
+            &model(NoiseConfig::noiseless(7)),
+            &RobustPolicy::default(),
+            0,
+            &token,
+        )
+        .expect_err("cancelled token must stop the run");
+        assert!(matches!(err, DiagnoseError::Cancelled { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn reported_consistent_grid_is_exact_and_strict_identical() {
+        let plan = plan();
+        let truth = plan.analyze([(42usize, 3usize), (42, 5)]);
+        let strict = diagnose(&plan, &truth);
+        let reported =
+            diagnose_reported(&plan, &truth, &CancelToken::new()).expect("live token");
+        assert_eq!(reported.confidence, Confidence::Exact);
+        assert_eq!(&reported.candidates, strict.candidates());
+        assert_eq!(reported.prefix_counts, strict.prefix_counts());
+        assert!(!reported.used_fallback);
+    }
+
+    #[test]
+    fn reported_all_passed_grid_is_inconclusive_not_an_error() {
+        let plan = plan();
+        let truth = plan.analyze(std::iter::empty());
+        let reported =
+            diagnose_reported(&plan, &truth, &CancelToken::new()).expect("live token");
+        assert_eq!(reported.confidence, Confidence::Inconclusive);
+        assert_eq!(reported.inconclusive, Some(InconclusiveReason::AllPassed));
+        assert!(reported.candidates.is_empty());
+    }
+
+    #[test]
+    fn reported_contradictory_grid_degrades_via_unit_weight_voting() {
+        // Fabricate a contradiction directly from verdicts: cell 42's
+        // groups fail in 5 of 6 partitions, an unrelated group fails in
+        // the remaining one.
+        let plan = plan();
+        let truth = plan.analyze([(42usize, 3usize), (42, 5)]);
+        let num_partitions = plan.partitions().len();
+        let max_groups = plan
+            .partitions()
+            .iter()
+            .map(scan_bist::Partition::num_groups)
+            .max()
+            .unwrap() as usize;
+        let mut failed = vec![vec![false; max_groups]; num_partitions];
+        for (p, partition) in plan.partitions().iter().enumerate() {
+            let (_, pos) = plan.layout().coord(42);
+            failed[p][usize::from(partition.group_of(pos as usize))] = true;
+        }
+        // Contradict partition 0: move its failing verdict to a group
+        // not containing cell 42.
+        let (_, pos42) = plan.layout().coord(42);
+        let g42 = usize::from(plan.partitions()[0].group_of(pos42 as usize));
+        failed[0][g42] = false;
+        failed[0][(g42 + 1) % max_groups] = true;
+        let outcome = SessionOutcome::from_verdicts(failed);
+        assert!(matches!(
+            diagnose(&plan, &outcome).status(),
+            DiagnosisStatus::Contradictory { .. }
+        ));
+        let reported =
+            diagnose_reported(&plan, &outcome, &CancelToken::new()).expect("live token");
+        assert_eq!(reported.confidence, Confidence::Degraded);
+        assert!(reported.used_fallback);
+        assert!(
+            reported.candidates.contains(42),
+            "5-of-6 unit-weight support keeps cell 42"
+        );
+        assert!(reported
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::Fallback { .. })));
+        let _ = truth;
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! `SCANBIST_CHAOS` — deterministic fault injection.
+//!
+//! Robustness claims need an adversary. When the `SCANBIST_CHAOS`
+//! environment variable is set, the daemon injects failures into its
+//! own request path: slow reads, truncated response bodies, corrupted
+//! (malformed-NDJSON) request bodies, worker panics, and artificial
+//! latency. Every draw is keyed `(seed, request index)` through
+//! [`scan_rng::derive`], so a chaos run is **bit-reproducible**: the
+//! same seed and arrival order injects the same faults into the same
+//! requests.
+//!
+//! Spec grammar (comma-separated `key=value`):
+//!
+//! ```text
+//! SCANBIST_CHAOS="seed=7,slow_read=0.05,slow_read_ms=40,malformed=0.02,panic=0.02,latency=0.1,latency_ms=25,truncate=0.02"
+//! ```
+//!
+//! Probabilities are in `[0,1]`; unknown keys are errors (a typo that
+//! silently disables chaos would invalidate a robustness run). Every
+//! injected fault is surfaced to the client via the
+//! `X-Scanbist-Chaos` response header (and counted under
+//! `daemon.chaos.*`), so load generators can separate injected
+//! failures from real ones.
+
+use scan_rng::ScanRng;
+
+/// Parsed chaos configuration; all-zero rates mean disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Base seed for per-request derivation.
+    pub seed: u64,
+    /// Probability of stalling before reading the request.
+    pub slow_read: f64,
+    /// Stall duration for `slow_read` hits.
+    pub slow_read_ms: u64,
+    /// Probability of corrupting the request body before NDJSON
+    /// parsing (malformed-input injection).
+    pub malformed: f64,
+    /// Probability of panicking the diagnosis worker mid-job.
+    pub panic: f64,
+    /// Probability of adding artificial latency before responding.
+    pub latency: f64,
+    /// Added latency for `latency` hits.
+    pub latency_ms: u64,
+    /// Probability of truncating the response body mid-write.
+    pub truncate: f64,
+}
+
+/// The concrete faults drawn for one request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Stall this long before reading the request.
+    pub pre_read_delay_ms: u64,
+    /// Corrupt the request body before parsing.
+    pub corrupt_body: bool,
+    /// Panic the worker handling this request's jobs.
+    pub panic_worker: bool,
+    /// Sleep this long before writing the response.
+    pub extra_latency_ms: u64,
+    /// Cut the response body off halfway and close the socket.
+    pub truncate_response: bool,
+}
+
+impl ChaosPlan {
+    /// Whether any fault fires for this request.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.pre_read_delay_ms > 0
+            || self.corrupt_body
+            || self.panic_worker
+            || self.extra_latency_ms > 0
+            || self.truncate_response
+    }
+
+    /// Stable comma-separated labels of the injected faults, for the
+    /// `X-Scanbist-Chaos` header.
+    #[must_use]
+    pub fn labels(&self) -> String {
+        let mut labels: Vec<&'static str> = Vec::new();
+        if self.pre_read_delay_ms > 0 {
+            labels.push("slow-read");
+        }
+        if self.corrupt_body {
+            labels.push("malformed");
+        }
+        if self.panic_worker {
+            labels.push("panic");
+        }
+        if self.extra_latency_ms > 0 {
+            labels.push("latency");
+        }
+        if self.truncate_response {
+            labels.push("truncate");
+        }
+        labels.join(",")
+    }
+}
+
+impl ChaosConfig {
+    /// Whether any injection can ever fire.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.slow_read > 0.0
+            || self.malformed > 0.0
+            || self.panic > 0.0
+            || self.latency > 0.0
+            || self.truncate > 0.0
+    }
+
+    /// Parses a `key=value,...` spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending key or value; unknown
+    /// keys and out-of-range probabilities are rejected.
+    pub fn parse(spec: &str) -> Result<ChaosConfig, String> {
+        let mut config = ChaosConfig {
+            slow_read_ms: 50,
+            latency_ms: 25,
+            ..ChaosConfig::default()
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos key `{part}` missing `=value`"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("chaos `{key}` is not a number: `{v}`"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("chaos `{key}` must be in [0,1], got {p}"));
+                }
+                Ok(p)
+            };
+            let millis = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("chaos `{key}` is not an integer: `{v}`"))
+            };
+            match key.trim() {
+                "seed" => config.seed = millis(value)?,
+                "slow_read" => config.slow_read = prob(value)?,
+                "slow_read_ms" => config.slow_read_ms = millis(value)?,
+                "malformed" => config.malformed = prob(value)?,
+                "panic" => config.panic = prob(value)?,
+                "latency" => config.latency = prob(value)?,
+                "latency_ms" => config.latency_ms = millis(value)?,
+                "truncate" => config.truncate = prob(value)?,
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        Ok(config)
+    }
+
+    /// Reads `SCANBIST_CHAOS`; `Ok(None)` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChaosConfig::parse`] errors for a set-but-invalid
+    /// spec.
+    pub fn from_env() -> Result<Option<ChaosConfig>, String> {
+        match std::env::var("SCANBIST_CHAOS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Draws the fault plan for request number `request`. Draw order
+    /// is fixed (slow-read, malformed, panic, latency, truncate), so a
+    /// given `(seed, request)` always yields the same plan regardless
+    /// of which rates are enabled elsewhere in the config.
+    #[must_use]
+    pub fn plan(&self, request: u64) -> ChaosPlan {
+        if !self.is_enabled() {
+            return ChaosPlan::default();
+        }
+        let mut rng = ScanRng::seed_from_u64(scan_rng::derive(self.seed, request));
+        let mut plan = ChaosPlan::default();
+        if rng.gen_bool(self.slow_read) {
+            plan.pre_read_delay_ms = self.slow_read_ms;
+        }
+        plan.corrupt_body = rng.gen_bool(self.malformed);
+        plan.panic_worker = rng.gen_bool(self.panic);
+        if rng.gen_bool(self.latency) {
+            plan.extra_latency_ms = self.latency_ms;
+        }
+        plan.truncate_response = rng.gen_bool(self.truncate);
+        plan
+    }
+
+    /// Deterministically corrupts a request body in place: flips a few
+    /// bytes and chops the tail, keyed like [`plan`](Self::plan) on the
+    /// same request index (separate derivation lane).
+    pub fn corrupt(&self, request: u64, body: &mut Vec<u8>) {
+        if body.is_empty() {
+            return;
+        }
+        let mut rng = ScanRng::seed_from_u64(scan_rng::derive(self.seed ^ 0xC0DE_D00D, request));
+        // The first flip always hits byte 0 (the opening `{`), so the
+        // body is guaranteed malformed even if later random flips land
+        // on the same byte twice and cancel out.
+        body[0] ^= 0x5A;
+        let flips = rng.gen_range(0, 4);
+        for _ in 0..flips {
+            let at = rng.gen_range(0, body.len());
+            body[at] ^= 0x5A;
+        }
+        if rng.gen_bool(0.5) && body.len() > 2 {
+            let keep = rng.gen_range(1, body.len());
+            body.truncate(keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let c = ChaosConfig::parse(
+            "seed=7,slow_read=0.5,slow_read_ms=40,malformed=0.25,panic=0.1,latency=1.0,latency_ms=5,truncate=0.125",
+        )
+        .expect("valid spec");
+        assert_eq!(c.seed, 7);
+        assert!((c.slow_read - 0.5).abs() < f64::EPSILON);
+        assert_eq!(c.slow_read_ms, 40);
+        assert!((c.latency - 1.0).abs() < f64::EPSILON);
+        assert!(c.is_enabled());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_rates() {
+        assert!(ChaosConfig::parse("sloow_read=0.5").is_err());
+        assert!(ChaosConfig::parse("slow_read=1.5").is_err());
+        assert!(ChaosConfig::parse("slow_read").is_err());
+        assert!(ChaosConfig::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_disabled() {
+        let c = ChaosConfig::parse("").expect("empty ok");
+        assert!(!c.is_enabled());
+        assert_eq!(c.plan(42), ChaosPlan::default());
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_request() {
+        let c = ChaosConfig::parse("seed=3,panic=0.3,latency=0.3,malformed=0.3").unwrap();
+        for request in 0..64u64 {
+            assert_eq!(c.plan(request), c.plan(request), "request {request}");
+        }
+        // And not all identical: at 30% rates some requests draw faults
+        // and some do not.
+        let hits = (0..64u64).filter(|&r| c.plan(r).any()).count();
+        assert!(hits > 0 && hits < 64, "hits={hits}");
+    }
+
+    #[test]
+    fn corruption_changes_bodies_deterministically() {
+        let c = ChaosConfig::parse("seed=9,malformed=1.0").unwrap();
+        let original = b"{\"id\":\"r1\",\"circuit\":\"s27\"}".to_vec();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        c.corrupt(5, &mut a);
+        c.corrupt(5, &mut b);
+        assert_eq!(a, b, "same request corrupts identically");
+        assert_ne!(a, original, "corruption must change the body");
+    }
+
+    #[test]
+    fn labels_name_injected_faults() {
+        let plan = ChaosPlan {
+            pre_read_delay_ms: 10,
+            corrupt_body: false,
+            panic_worker: true,
+            extra_latency_ms: 0,
+            truncate_response: true,
+        };
+        assert_eq!(plan.labels(), "slow-read,panic,truncate");
+        assert!(plan.any());
+        assert!(!ChaosPlan::default().any());
+    }
+}

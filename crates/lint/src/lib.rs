@@ -24,6 +24,7 @@
 //! | L008 | `no-silent-empty-intersection` | call `diagnose_checked`, not `diagnose` |
 //! | L009 | `no-blocking-io-inside-span` | no socket/file writes under a live span |
 //! | L010 | `no-unwrap-in-obs-hot-path` | no `unwrap`/`expect` in obs serve/slo/recorder/timeseries |
+//! | L011 | `no-unbounded-queue` | no `VecDeque`/`mpsc::channel()` in the daemon's admission path |
 //!
 //! Suppression is always explicit and always justified: a per-rule
 //! path allowance in the checked-in `lint.toml` (with a mandatory

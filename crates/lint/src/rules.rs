@@ -1,4 +1,4 @@
-//! The rule set: ten workspace-contract lints over the token stream
+//! The rule set: eleven workspace-contract lints over the token stream
 //! (Rust sources) and a line-oriented manifest check (`Cargo.toml`).
 //!
 //! Each rule has an id, short name, severity, and fix-hint; findings
@@ -23,14 +23,23 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/soc/",
 ];
 
-/// Crates allowed to read wall clocks: the timing harness and the
-/// observability layer (monotonic span timing).
-const WALL_CLOCK_CRATES: &[&str] = &["crates/bench/", "crates/obs/"];
+/// Crates allowed to read wall clocks: the timing harness, the
+/// observability layer (monotonic span timing), and the daemon
+/// (deadline arithmetic and socket timeouts).
+const WALL_CLOCK_CRATES: &[&str] = &["crates/bench/", "crates/obs/", "crates/daemon/"];
 
 /// Paths allowed to print to stdout: the CLI front end (stdout is its
-/// payload channel) and the experiment bins (same contract, enforced
-/// end-to-end by `crates/bench/tests/bin_stdout.rs`).
-const STDOUT_PATHS: &[&str] = &["crates/cli/", "crates/bench/src/bin/"];
+/// payload channel), the experiment bins (same contract, enforced
+/// end-to-end by `crates/bench/tests/bin_stdout.rs`), and the load
+/// generator bin (scenario summaries are its payload).
+const STDOUT_PATHS: &[&str] = &["crates/cli/", "crates/bench/src/bin/", "crates/daemon/src/bin/"];
+
+/// Paths where every work queue must be explicitly bounded: the
+/// daemon's admission path. `VecDeque` grows without limit and
+/// `mpsc::channel()` buffers without limit; under overload either one
+/// turns backpressure into memory exhaustion. L011 denies both here —
+/// use `scan_daemon::queue::BoundedQueue` (or `sync_channel`) instead.
+const BOUNDED_QUEUE_PATHS: &[&str] = &["crates/daemon/"];
 
 /// The crate that defines `diagnose_checked`; direct `diagnose()`
 /// calls are its internal business only.
@@ -275,6 +284,39 @@ pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
                     name_token.col,
                     format!("pub error enum `{}` is exhaustively matchable", name_token.text),
                     "add #[non_exhaustive] so new failure modes are not breaking changes",
+                ));
+            }
+            // L011 — unbounded queues in the daemon's admission path.
+            "VecDeque" if under(file, BOUNDED_QUEUE_PATHS) => {
+                findings.push(finding(
+                    "L011",
+                    "no-unbounded-queue",
+                    file,
+                    token.line,
+                    token.col,
+                    "`VecDeque` in the daemon — an unbounded buffer turns \
+                     backpressure into memory exhaustion under overload"
+                        .to_owned(),
+                    "use the bounded admission queue (scan_daemon::queue::BoundedQueue) \
+                     or justify the bound with a suppression",
+                ));
+            }
+            "channel"
+                if under(file, BOUNDED_QUEUE_PATHS)
+                    && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && !call_is_method_or_def(&sig, i) =>
+            {
+                findings.push(finding(
+                    "L011",
+                    "no-unbounded-queue",
+                    file,
+                    token.line,
+                    token.col,
+                    "`channel()` in the daemon — `std::sync::mpsc::channel` buffers \
+                     without limit under overload"
+                        .to_owned(),
+                    "use sync_channel(bound) or the bounded admission queue \
+                     (scan_daemon::queue::BoundedQueue)",
                 ));
             }
             // L008 — direct diagnose() outside the defining crate.
@@ -903,6 +945,42 @@ mod tests {
         assert_eq!(
             rules_of(&rust_findings("crates/obs/src/recorder.rs", mixed)),
             vec!["L010"]
+        );
+    }
+
+    #[test]
+    fn l011_scoped_to_daemon_queue_paths() {
+        let deque = "use std::collections::VecDeque; let q: VecDeque<Job> = VecDeque::new();";
+        assert_eq!(
+            rules_of(&rust_findings("crates/daemon/src/server.rs", deque)),
+            vec!["L011", "L011", "L011"]
+        );
+        // Other crates may buffer freely.
+        assert!(rust_findings("crates/obs/src/export.rs", deque).is_empty());
+
+        let unbounded = "let (tx, rx) = std::sync::mpsc::channel();";
+        assert_eq!(
+            rules_of(&rust_findings("crates/daemon/src/queue.rs", unbounded)),
+            vec!["L011"]
+        );
+        // Bounded channels and method calls named `channel` are fine.
+        assert!(rust_findings(
+            "crates/daemon/src/queue.rs",
+            "let (tx, rx) = std::sync::mpsc::sync_channel(64);"
+        )
+        .is_empty());
+        assert!(rust_findings("crates/daemon/src/a.rs", "let c = soc.channel(3);").is_empty());
+        assert!(rust_findings("crates/daemon/src/a.rs", "fn channel(x: u8) {}").is_empty());
+    }
+
+    #[test]
+    fn daemon_paths_may_use_wall_clocks_and_loadgen_stdout() {
+        assert!(rust_findings("crates/daemon/src/server.rs", "let t = Instant::now();").is_empty());
+        assert!(rust_findings("crates/daemon/src/bin/loadgen.rs", "println!(\"x\");").is_empty());
+        // The daemon library still must not print to stdout.
+        assert_eq!(
+            rules_of(&rust_findings("crates/daemon/src/server.rs", "println!(\"x\");")),
+            vec!["L006"]
         );
     }
 

@@ -10,7 +10,7 @@ use std::process::Command;
 
 use scan_lint::{lint_workspace, load_config, Config};
 
-/// All ten rules with their seeded fixture directory.
+/// All eleven rules with their seeded fixture directory.
 const RULES: &[(&str, &str)] = &[
     ("L001", "l001"),
     ("L002", "l002"),
@@ -22,6 +22,7 @@ const RULES: &[(&str, &str)] = &[
     ("L008", "l008"),
     ("L009", "l009"),
     ("L010", "l010"),
+    ("L011", "l011"),
 ];
 
 fn fixture(name: &str) -> PathBuf {

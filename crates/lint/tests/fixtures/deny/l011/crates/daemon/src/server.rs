@@ -1,0 +1,10 @@
+// Fixture: L011 no-unbounded-queue — unbounded buffer in the daemon.
+use std::collections::VecDeque;
+
+pub fn admission() -> VecDeque<u64> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(1u64).ok();
+    let mut queue = VecDeque::new();
+    queue.push_back(rx.recv().unwrap_or(0));
+    queue
+}

@@ -14,6 +14,9 @@
 //!   consistent across the stream;
 //! * a collapsed-stack profile (`.folded`, or any non-JSON text):
 //!   every line must be `frame[;frame…] <count>`;
+//! * a daemon goodput document (JSON with a `scenarios` array, written
+//!   by `scanbistd-loadgen`): every scenario carries its offered rate,
+//!   outcome counts, latency percentiles — and zero real failures;
 //! * a bench baseline (JSON with `suite`/`kernels` members): every
 //!   kernel must carry numeric `median_ns`/`p95_ns`/`iqr_ns`;
 //! * a JSON metrics snapshot (any other JSON: one object with
@@ -425,6 +428,77 @@ fn check_bench(path: &str, value: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// A `scanbistd-loadgen` goodput document (`BENCH_daemon.json`):
+/// per-scenario overload evidence instead of per-kernel timings.
+fn check_daemon_bench(path: &str, value: &Value) -> Result<(), String> {
+    if value.get("version").and_then(Value::as_f64).is_none() {
+        return Err(format!("{path}: daemon bench missing numeric \"version\""));
+    }
+    let suite = value
+        .get("suite")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: daemon bench missing \"suite\""))?;
+    let scenarios = value
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: daemon bench missing \"scenarios\" array"))?;
+    if scenarios.is_empty() {
+        return Err(format!("{path}: daemon bench has no scenarios"));
+    }
+    let mut real_failures = 0.0;
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let label = scenario
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: scenario {i} missing \"label\""))?;
+        for member in [
+            "offered_rps",
+            "sent",
+            "ok",
+            "shed_429",
+            "deadline_504",
+            "real_failures",
+            "max_queue_depth",
+            "goodput_rps",
+        ] {
+            let ok = scenario
+                .get(member)
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v >= 0.0);
+            if !ok {
+                return Err(format!(
+                    "{path}: scenario `{label}` missing non-negative \"{member}\""
+                ));
+            }
+        }
+        let latency = scenario
+            .get("latency_us")
+            .and_then(Value::as_object)
+            .ok_or_else(|| format!("{path}: scenario `{label}` missing \"latency_us\""))?;
+        for member in ["p50", "p95", "p99"] {
+            if latency.get(member).and_then(Value::as_f64).is_none() {
+                return Err(format!(
+                    "{path}: scenario `{label}` latency missing \"{member}\""
+                ));
+            }
+        }
+        real_failures += scenario
+            .get("real_failures")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+    }
+    if real_failures > 0.0 {
+        return Err(format!(
+            "{path}: daemon bench records {real_failures} non-injected failure(s)"
+        ));
+    }
+    eprintln!(
+        "obs-check: {path}: daemon goodput document OK (suite `{suite}`, {} scenario(s), 0 real failures)",
+        scenarios.len()
+    );
+    Ok(())
+}
+
 fn check_folded(path: &str, text: &str) -> Result<(), String> {
     let lines = scan_obs::profile::check_folded(text).map_err(|e| format!("{path}: {e}"))?;
     eprintln!("obs-check: {path}: folded profile OK ({lines} stack(s))");
@@ -461,6 +535,9 @@ fn check(path: &str) -> Result<(), String> {
         let value = parse(&text).map_err(|e| format!("{path}: {e}"))?;
         if value.get("kernels").is_some() {
             return check_bench(path, &value);
+        }
+        if value.get("scenarios").is_some() {
+            return check_daemon_bench(path, &value);
         }
         return check_metrics(path, &value);
     }

@@ -15,12 +15,19 @@
 //! * `GET /metrics.json` — the workspace's own JSON metrics snapshot
 //!   (same document `--metrics-out` writes).
 //! * `GET /healthz` — `{"status":"ok","uptime_ns":…}`.
+//! * `GET /readyz` — `{"status":"ready"}` (200) until [`set_ready`]
+//!   flips it to `{"status":"draining"}` (503); load balancers and the
+//!   `scanbistd` drain sequence key off this.
 //!
 //! **Bounded connections:** requests are handled serially on the one
 //! accept thread with read/write timeouts and an 8 KiB request cap, so
 //! a slow or malicious scraper can stall at most one connection slot
 //! and the OS listen backlog — never the campaign, which runs on other
 //! threads and shares nothing with the server but the registry locks.
+//! A client that connects and then sends nothing (slow loris) is cut
+//! off by the read timeout with a `408`; a declared request body over
+//! the configurable [`set_body_limit`] is rejected with `413` without
+//! ever being read.
 //!
 //! **Clean shutdown:** [`MetricsServer::stop`] flips a flag and nudges
 //! the listener with a loopback connect so the accept loop observes it
@@ -32,7 +39,7 @@
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,6 +48,43 @@ use crate::timeseries::{self, SeriesRollup};
 
 const REQUEST_CAP: usize = 8 * 1024;
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Default ceiling for declared request bodies (`Content-Length`).
+/// Metrics routes are GET-only, so anything nontrivial is suspicious;
+/// the limit exists so a misdirected upload is refused with `413`
+/// instead of being read to EOF.
+pub const DEFAULT_BODY_LIMIT: usize = 64 * 1024;
+
+static BODY_LIMIT: AtomicUsize = AtomicUsize::new(DEFAULT_BODY_LIMIT);
+static READY: AtomicBool = AtomicBool::new(true);
+
+/// Sets the `Content-Length` ceiling above which requests are refused
+/// with `413 Payload Too Large`. Applies to every in-process
+/// [`MetricsServer`] and to daemons reusing [`route`] + this module's
+/// request reader.
+pub fn set_body_limit(limit: usize) {
+    BODY_LIMIT.store(limit.max(1), Ordering::Release);
+}
+
+/// The current request-body ceiling (see [`set_body_limit`]).
+#[must_use]
+pub fn body_limit() -> usize {
+    BODY_LIMIT.load(Ordering::Acquire)
+}
+
+/// Flips the process-wide readiness bit behind `GET /readyz`.
+/// `true` (the default) answers `200 {"status":"ready"}`; `false`
+/// answers `503 {"status":"draining"}` so load balancers stop routing
+/// new work while in-flight requests finish.
+pub fn set_ready(ready: bool) {
+    READY.store(ready, Ordering::Release);
+}
+
+/// Whether `GET /readyz` currently reports ready.
+#[must_use]
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Acquire)
+}
 
 /// A running metrics endpoint; dropping or [`stop`](MetricsServer::stop)ping
 /// it shuts the listener down.
@@ -126,14 +170,47 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
     registry::flush_thread();
 }
 
+/// Why a request head could not be turned into a routable target.
+enum HeadError {
+    /// Not a well-formed `GET <target> HTTP/1.x` head.
+    Malformed,
+    /// The client stalled past the read timeout (slow loris).
+    Timeout,
+    /// The declared `Content-Length` exceeds [`body_limit`].
+    BodyTooLarge,
+}
+
 fn handle_connection(mut conn: TcpStream) {
     let _span = crate::span!("serve/scrape");
     let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
     let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(target) = read_request_target(&mut conn) else {
-        crate::metrics::incr("serve.bad_requests");
-        let _ = write_response(&mut conn, 400, "text/plain; charset=utf-8", "bad request\n");
-        return;
+    let target = match read_request_target(&mut conn) {
+        Ok(target) => target,
+        Err(HeadError::Timeout) => {
+            crate::metrics::incr("serve.timeouts");
+            let _ = write_response(
+                &mut conn,
+                408,
+                "text/plain; charset=utf-8",
+                "request timed out\n",
+            );
+            return;
+        }
+        Err(HeadError::BodyTooLarge) => {
+            crate::metrics::incr("serve.oversized_bodies");
+            let _ = write_response(
+                &mut conn,
+                413,
+                "text/plain; charset=utf-8",
+                "request body exceeds limit\n",
+            );
+            return;
+        }
+        Err(HeadError::Malformed) => {
+            crate::metrics::incr("serve.bad_requests");
+            let _ = write_response(&mut conn, 400, "text/plain; charset=utf-8", "bad request\n");
+            return;
+        }
     };
     crate::metrics::incr("serve.requests");
     let (status, content_type, body) = route(&target);
@@ -142,11 +219,21 @@ fn handle_connection(mut conn: TcpStream) {
 
 /// Reads the request head (up to [`REQUEST_CAP`]) and returns the
 /// request target of a well-formed `GET <target> HTTP/1.x` line.
-fn read_request_target(conn: &mut TcpStream) -> Option<String> {
+/// Declared bodies over [`body_limit`] are refused without being read.
+fn read_request_target(conn: &mut TcpStream) -> Result<String, HeadError> {
     let mut head = Vec::new();
     let mut buf = [0u8; 512];
     loop {
-        let n = conn.read(&mut buf).ok()?;
+        let n = match conn.read(&mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HeadError::Timeout);
+            }
+            Err(_) => return Err(HeadError::Malformed),
+        };
         if n == 0 {
             break;
         }
@@ -156,18 +243,43 @@ fn read_request_target(conn: &mut TcpStream) -> Option<String> {
         }
     }
     let text = String::from_utf8_lossy(&head);
-    let line = text.lines().next()?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next()?;
-    let target = parts.next()?;
-    let version = parts.next()?;
-    if method != "GET" || !version.starts_with("HTTP/1.") {
-        return None;
+    let mut lines = text.lines();
+    let line = lines.next().ok_or(HeadError::Malformed)?;
+    // Reject declared bodies over the limit before touching the route:
+    // a metrics endpoint never needs an upload, so an oversized
+    // Content-Length is refused outright instead of read to EOF.
+    for header in lines.by_ref() {
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            match value.trim().parse::<usize>() {
+                Ok(len) if len > body_limit() => return Err(HeadError::BodyTooLarge),
+                Ok(_) => {}
+                Err(_) => return Err(HeadError::Malformed),
+            }
+        }
     }
-    Some(target.to_owned())
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(HeadError::Malformed)?;
+    let target = parts.next().ok_or(HeadError::Malformed)?;
+    let version = parts.next().ok_or(HeadError::Malformed)?;
+    if method != "GET" || !version.starts_with("HTTP/1.") {
+        return Err(HeadError::Malformed);
+    }
+    Ok(target.to_owned())
 }
 
-fn route(target: &str) -> (u16, &'static str, String) {
+/// Routes a request target to `(status, content type, body)` — the
+/// shared observability surface. Public so daemons building on this
+/// crate (`scanbistd`) can mount the exact same `/metrics`,
+/// `/metrics.json`, `/alerts.json`, `/healthz`, and `/readyz` routes
+/// on their own listeners.
+#[must_use]
+pub fn route(target: &str) -> (u16, &'static str, String) {
     let path = target.split('?').next().unwrap_or(target);
     match path {
         "/metrics" => {
@@ -202,6 +314,17 @@ fn route(target: &str) -> (u16, &'static str, String) {
                 std::process::id()
             ),
         ),
+        "/readyz" => {
+            if is_ready() {
+                (200, "application/json", "{\"status\":\"ready\"}".to_owned())
+            } else {
+                (
+                    503,
+                    "application/json",
+                    "{\"status\":\"draining\"}".to_owned(),
+                )
+            }
+        }
         _ => (404, "text/plain; charset=utf-8", "not found\n".to_owned()),
     }
 }
@@ -215,6 +338,9 @@ fn write_response(
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Not Found",
     };
     let head = format!(

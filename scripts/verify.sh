@@ -182,4 +182,40 @@ if grep -Eq 'src="https?://|href="https?://|@import' "$SMOKE_DIR/report.html"; t
     echo "report.html references external assets"; exit 1;
 fi
 
+echo "==> scanbistd smoke (chaos-on load burst, live scrape, clean drain)"
+rm -f "$SMOKE_DIR/daemon_stdout.txt"
+SCANBIST_CHAOS="seed=5,slow_read=0.05,slow_read_ms=20,malformed=0.05,panic=0.05,latency=0.1,latency_ms=10,truncate=0.05" \
+    ./target/release/scanbist --slo slo.toml serve \
+    --addr 127.0.0.1:0 --queue 32 --deadline-ms 2000 --drain-ms 5000 \
+    > "$SMOKE_DIR/daemon_stdout.txt" 2> "$SMOKE_DIR/daemon_stderr.txt" &
+DAEMON_PID=$!
+DADDR=""
+for _ in $(seq 1 100); do
+    DADDR=$(sed -n 's#^scanbistd: listening on http://##p' "$SMOKE_DIR/daemon_stdout.txt")
+    [ -n "$DADDR" ] && break
+    sleep 0.1
+done
+[ -n "$DADDR" ] || { echo "scanbistd never announced an address"; kill "$DAEMON_PID" 2>/dev/null; exit 1; }
+# Overload burst with chaos injected: the loadgen exits nonzero if any
+# response carries a status outside the daemon's graceful-degradation
+# contract (i.e. any non-injected failure).
+./target/release/scanbistd-loadgen --addr "$DADDR" \
+    --rates 30,120 --duration-ms 1500 --deadline-ms 2000 --seed 3 \
+    --out "$SMOKE_DIR/BENCH_daemon_smoke.json" \
+    > "$SMOKE_DIR/loadgen.txt" || {
+    echo "loadgen saw non-injected failures:"; cat "$SMOKE_DIR/loadgen.txt";
+    kill "$DAEMON_PID" 2>/dev/null; exit 1;
+}
+./target/release/obs-check "$SMOKE_DIR/BENCH_daemon_smoke.json"
+# The daemon serves the obs endpoints itself; scrape it live.
+./target/release/obs-check --scrape "$DADDR" || {
+    echo "live scanbistd /metrics scrape failed"; kill "$DAEMON_PID" 2>/dev/null; exit 1;
+}
+# Drain and require a clean exit.
+./target/release/scanbistd-loadgen --addr "$DADDR" --drain >> "$SMOKE_DIR/loadgen.txt"
+wait "$DAEMON_PID" || { echo "scanbistd did not drain cleanly"; exit 1; }
+grep -q "scanbistd: drained" "$SMOKE_DIR/daemon_stdout.txt" || {
+    echo "scanbistd never logged its drain"; exit 1;
+}
+
 echo "==> verify OK"
