@@ -155,6 +155,8 @@ pub enum Command {
         config: Option<String>,
         /// Where to write the findings as NDJSON.
         out: Option<String>,
+        /// Where to write the workspace call graph as NDJSON.
+        graph: Option<String>,
         /// Exit nonzero if any unsuppressed finding remains.
         deny: bool,
     },
@@ -633,12 +635,14 @@ where
     let mut root = ".".to_owned();
     let mut config = None;
     let mut out = None;
+    let mut graph = None;
     let mut deny = false;
     while let Some(flag) = words.next() {
         match flag {
             "--root" => take_value(flag, &mut words)?.clone_into(&mut root),
             "--config" => config = Some(take_value(flag, &mut words)?.to_owned()),
             "--out" => out = Some(take_value(flag, &mut words)?.to_owned()),
+            "--graph" => graph = Some(take_value(flag, &mut words)?.to_owned()),
             "--deny" => deny = true,
             other => return Err(unknown_flag(other)),
         }
@@ -647,6 +651,7 @@ where
         root,
         config,
         out,
+        graph,
         deny,
     })
 }
@@ -817,10 +822,12 @@ COMMANDS:
                     (filter/group/aggregate NDJSON observability
                     streams; prints one JSON document to stdout)
   scanbist explain <audit.ndjson>     (summarize an audit trace)
-  scanbist lint [--root DIR] [--config FILE] [--out FILE] [--deny]
+  scanbist lint [--root DIR] [--config FILE] [--out FILE]
+                    [--graph FILE] [--deny]
                     (vendored static-analysis pass; --deny exits
                     nonzero on unsuppressed findings, --out writes
-                    them as NDJSON — see docs/LINTS.md)
+                    them as NDJSON, --graph writes the workspace call
+                    graph as NDJSON — see docs/LINTS.md)
   scanbist serve [--addr HOST:PORT] [--workers N] [--queue N]
                     [--max-connections N] [--deadline-ms MS]
                     [--drain-ms MS] [--cache N]
@@ -1313,12 +1320,14 @@ mod tests {
                 root: ".".into(),
                 config: None,
                 out: None,
+                graph: None,
                 deny: false,
             }
         );
 
         let cmd = parse_args([
-            "lint", "--root", "..", "--config", "lint.toml", "--out", "l.ndjson", "--deny",
+            "lint", "--root", "..", "--config", "lint.toml", "--out", "l.ndjson", "--graph",
+            "g.ndjson", "--deny",
         ])
         .unwrap();
         assert_eq!(
@@ -1327,6 +1336,7 @@ mod tests {
                 root: "..".into(),
                 config: Some("lint.toml".into()),
                 out: Some("l.ndjson".into()),
+                graph: Some("g.ndjson".into()),
                 deny: true,
             }
         );

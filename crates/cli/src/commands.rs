@@ -476,8 +476,15 @@ fn execute<W: Write>(
             root,
             config,
             out: report_out,
+            graph,
             deny,
-        } => run_lint(root, config.as_deref(), report_out.as_deref(), *deny),
+        } => run_lint(
+            root,
+            config.as_deref(),
+            report_out.as_deref(),
+            graph.as_deref(),
+            *deny,
+        ),
         Command::ObsQuery { files, spec } => run_obs_query(files, spec, out),
         Command::Serve {
             addr,
@@ -571,6 +578,7 @@ fn run_lint(
     root: &str,
     config_path: Option<&str>,
     report_out: Option<&str>,
+    graph_out: Option<&str>,
     deny: bool,
 ) -> Result<(), String> {
     let root = std::path::Path::new(root);
@@ -582,10 +590,14 @@ fn run_lint(
         }
         None => scan_lint::load_config(root)?,
     };
-    let report = scan_lint::lint_workspace(root, &config)
+    let (report, graph) = scan_lint::lint_workspace_with_graph(root, &config)
         .map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
     if let Some(path) = report_out {
         scan_obs::export::write_file(std::path::Path::new(path), &report.render_ndjson())
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = graph_out {
+        scan_obs::export::write_file(std::path::Path::new(path), &graph.render_ndjson())
             .map_err(|e| e.to_string())?;
     }
     eprint!("{}", report.render_table());

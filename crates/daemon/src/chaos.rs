@@ -206,6 +206,7 @@ impl ChaosConfig {
         let flips = rng.gen_range(0, 4);
         for _ in 0..flips {
             let at = rng.gen_range(0, body.len());
+            // lint:allow(L012): `at < body.len()` by construction; nonempty guarded above
             body[at] ^= 0x5A;
         }
         if rng.gen_bool(0.5) && body.len() > 2 {

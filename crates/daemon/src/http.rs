@@ -221,6 +221,7 @@ fn read_head(reader: &mut impl Read, limits: &Limits) -> Result<(Vec<u8>, Vec<u8
                 HttpError::Malformed("truncated head")
             });
         }
+        // lint:allow(L012): `read()` guarantees `n <= chunk.len()`
         buf.extend_from_slice(&chunk[..n]);
     }
 }
@@ -289,10 +290,12 @@ fn read_body(
     let mut chunk = [0u8; 4096];
     while body.len() < declared {
         let want = (declared - body.len()).min(chunk.len());
+        // lint:allow(L012): `want` is min-clamped to `chunk.len()` above
         let n = reader.read(&mut chunk[..want]).map_err(|e| io_error(&e))?;
         if n == 0 {
             return Err(HttpError::Malformed("truncated body"));
         }
+        // lint:allow(L012): `read()` guarantees `n <= want <= chunk.len()`
         body.extend_from_slice(&chunk[..n]);
     }
     Ok(body)

@@ -70,7 +70,9 @@ impl<T> BoundedQueue<T> {
             return Err(item);
         }
         let cap = ring.slots.len();
+        // lint:allow(L012): `new()` clamps capacity to >= 1, so `cap > 0`
         let tail = (ring.head + ring.len) % cap;
+        // lint:allow(L012): `tail < cap` from the modulo above
         ring.slots[tail] = Some(item);
         ring.len += 1;
         let depth = ring.len;
@@ -88,8 +90,10 @@ impl<T> BoundedQueue<T> {
         loop {
             if ring.len > 0 {
                 let head = ring.head;
+                // lint:allow(L012): `head < cap` is the ring invariant
                 let item = ring.slots[head].take();
                 let cap = ring.slots.len();
+                // lint:allow(L012): `new()` clamps capacity to >= 1, so `cap > 0`
                 ring.head = (ring.head + 1) % cap;
                 ring.len -= 1;
                 return item;

@@ -11,15 +11,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: scan-lint [--root DIR] [--config FILE] [--out FILE] [--deny]
+usage: scan-lint [--root DIR] [--config FILE] [--out FILE] [--graph FILE] [--deny]
 
 Static-analysis pass over every .rs file and Cargo.toml in the
-workspace: determinism, unsafe-audit, and contract lints L001-L008
-(catalogue in docs/LINTS.md).
+workspace: determinism, unsafe-audit, contract, and call-graph lints
+L001-L014 (catalogue in docs/LINTS.md).
 
   --root DIR     workspace root to lint (default: current directory)
   --config FILE  lint.toml to honour (default: <root>/lint.toml)
   --out FILE     write the NDJSON findings report here
+  --graph FILE   write the workspace call graph as NDJSON here
   --deny         exit nonzero when any unsuppressed finding remains
   -h, --help     print this usage text to stderr and exit
 
@@ -32,6 +33,7 @@ struct Options {
     root: PathBuf,
     config: Option<PathBuf>,
     out: Option<PathBuf>,
+    graph: Option<PathBuf>,
     deny: bool,
 }
 
@@ -40,6 +42,7 @@ fn parse_options() -> Result<Option<Options>, String> {
         root: PathBuf::from("."),
         config: None,
         out: None,
+        graph: None,
         deny: false,
     };
     let mut args = std::env::args().skip(1);
@@ -56,6 +59,9 @@ fn parse_options() -> Result<Option<Options>, String> {
             "--out" => {
                 options.out = Some(args.next().ok_or("--out needs a value")?.into());
             }
+            "--graph" => {
+                options.graph = Some(args.next().ok_or("--graph needs a value")?.into());
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -71,8 +77,16 @@ fn run(options: &Options) -> Result<ExitCode, String> {
         }
         None => scan_lint::load_config(&options.root)?,
     };
-    let report = scan_lint::lint_workspace(&options.root, &config)
+    let (report, graph) = scan_lint::lint_workspace_with_graph(&options.root, &config)
         .map_err(|e| format!("cannot walk {}: {e}", options.root.display()))?;
+    if let Some(path) = &options.graph {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, graph.render_ndjson())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
     if let Some(out) = &options.out {
         if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)

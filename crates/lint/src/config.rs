@@ -32,6 +32,40 @@ pub struct Allow {
     pub reason: String,
 }
 
+/// One L012 panic-freedom root from the `[roots]` section: the function
+/// from which no panic site may be transitively reachable.
+#[derive(Clone, Debug)]
+pub struct RootSpec {
+    /// Optional root-relative file path the root must live in; `None`
+    /// matches the function name in any file.
+    pub file: Option<String>,
+    /// Function name.
+    pub name: String,
+}
+
+impl RootSpec {
+    /// Parses `"crates/daemon/src/server.rs::handle"` or `"handle"`.
+    #[must_use]
+    pub fn parse(spec: &str) -> RootSpec {
+        match spec.split_once("::") {
+            Some((file, name)) => RootSpec {
+                file: Some(file.to_owned()),
+                name: name.to_owned(),
+            },
+            None => RootSpec {
+                file: None,
+                name: spec.to_owned(),
+            },
+        }
+    }
+
+    /// Does the function `name` defined in `file` match this root?
+    #[must_use]
+    pub fn matches(&self, file: &str, name: &str) -> bool {
+        self.name == name && self.file.as_deref().is_none_or(|f| f == file)
+    }
+}
+
 /// Parsed `lint.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct Config {
@@ -40,6 +74,9 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Per-rule path allowances.
     pub allows: Vec<Allow>,
+    /// L012 panic-freedom roots (`[roots] panic_freedom = [...]`).
+    /// L012 is inert when this list is empty.
+    pub panic_roots: Vec<RootSpec>,
 }
 
 /// Error produced for a malformed `lint.toml`.
@@ -102,6 +139,7 @@ impl Config {
                 finish_allow(&mut pending, &mut config)?;
                 section = match header.trim() {
                     "lint" => Section::Lint,
+                    "roots" => Section::Roots,
                     other => match other.strip_prefix("allow.") {
                         Some(rule) if is_rule_id(rule) => {
                             pending = Some((
@@ -147,6 +185,20 @@ impl Config {
                 (Section::Lint, "exclude") => {
                     config.exclude = parse_string_array(&value, line_no)?;
                 }
+                (Section::Roots, "panic_freedom") => {
+                    for spec in parse_string_array(&value, line_no)? {
+                        if spec.trim().is_empty() || spec.ends_with("::") {
+                            return Err(ConfigError {
+                                line: line_no,
+                                message: format!(
+                                    "bad root spec `{spec}` (expected `path/to/file.rs::fn_name` \
+                                     or a bare function name)"
+                                ),
+                            });
+                        }
+                        config.panic_roots.push(RootSpec::parse(&spec));
+                    }
+                }
                 (Section::Allow, "paths") => {
                     let allow = &mut pending.as_mut().expect("in allow section").0;
                     allow.paths = parse_string_array(&value, line_no)?;
@@ -178,6 +230,7 @@ enum Section {
     None,
     Lint,
     Allow,
+    Roots,
 }
 
 /// True when `path` equals `prefix` or sits underneath it as a
@@ -298,6 +351,21 @@ paths = ["crates/bench", "examples/demo.rs"]
         );
         assert_eq!(config.allow_reason("L004", "crates/bench/src/lib.rs"), None);
         assert_eq!(config.allow_reason("L008", "crates/benchmark/x.rs"), None);
+    }
+
+    #[test]
+    fn parses_panic_freedom_roots() {
+        let config = Config::parse(
+            "[roots]\npanic_freedom = [\n    \"crates/daemon/src/server.rs::handle_connection\",\n    \"install\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(config.panic_roots.len(), 2);
+        assert!(config.panic_roots[0]
+            .matches("crates/daemon/src/server.rs", "handle_connection"));
+        assert!(!config.panic_roots[0].matches("crates/daemon/src/cache.rs", "handle_connection"));
+        assert!(config.panic_roots[1].matches("anywhere.rs", "install"));
+        assert!(Config::parse("[roots]\npanic_freedom = [\"bad::\"]\n").is_err());
+        assert!(Config::parse("[roots]\nbogus = [\"x\"]\n").is_err());
     }
 
     #[test]

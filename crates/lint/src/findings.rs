@@ -26,6 +26,19 @@ impl Severity {
     }
 }
 
+/// One hop in a semantic rule's witness call chain: the function the
+/// chain passes through and the line of the call (or, for the final hop,
+/// the offending site itself).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Fully qualified function path (`scan_daemon::server::handle`).
+    pub func: String,
+    /// Root-relative file the hop lives in.
+    pub file: String,
+    /// 1-based line of the call site / final site.
+    pub line: u32,
+}
+
 /// One rule violation at a source location.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -48,6 +61,9 @@ pub struct Finding {
     /// `Some(reason)` when suppressed by `lint.toml` or an inline
     /// `// lint:allow`.
     pub suppressed: Option<String>,
+    /// Witness call chain for semantic rules (L009/L012/L013/L014):
+    /// root → … → offending site. Empty for lexical rules.
+    pub chain: Vec<ChainHop>,
 }
 
 /// The result of linting a workspace.
@@ -97,6 +113,9 @@ impl LintReport {
                 finding.name,
                 finding.message,
             );
+            for hop in &finding.chain {
+                let _ = writeln!(out, "    via {} ({}:{})", hop.func, hop.file, hop.line);
+            }
             let _ = writeln!(out, "    fix: {}", finding.hint);
         }
         let suppressed = self.findings.len() - self.unsuppressed().count();
@@ -142,6 +161,22 @@ impl LintReport {
             );
             if let Some(reason) = &finding.suppressed {
                 let _ = write!(line, ",\"suppressed\":{}", json_string(reason));
+            }
+            if !finding.chain.is_empty() {
+                line.push_str(",\"chain\":[");
+                for (i, hop) in finding.chain.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(
+                        line,
+                        "{{\"fn\":{},\"file\":{},\"line\":{}}}",
+                        json_string(&hop.func),
+                        json_string(&hop.file),
+                        hop.line,
+                    );
+                }
+                line.push(']');
             }
             line.push('}');
             out.push_str(&line);
@@ -200,6 +235,7 @@ mod tests {
                     message: "call to `thread_rng`".into(),
                     hint: "derive a scan-rng stream instead",
                     suppressed: None,
+                    chain: Vec::new(),
                 },
                 Finding {
                     rule: "L004",
@@ -211,6 +247,7 @@ mod tests {
                     message: "`HashMap` in deterministic crate".into(),
                     hint: "use BTreeMap",
                     suppressed: Some("membership-only".into()),
+                    chain: Vec::new(),
                 },
             ],
             rust_files: 2,
@@ -236,6 +273,33 @@ mod tests {
         assert!(lines[1].contains("\"suppressed\":\"membership-only\""));
         assert!(lines[2].contains("\"type\":\"lint\""));
         assert!(lines[2].contains("\"findings\":1"));
+    }
+
+    #[test]
+    fn chain_renders_in_table_and_ndjson() {
+        let mut report = sample();
+        report.findings[0].chain = vec![
+            ChainHop {
+                func: "scan_daemon::server::handle".into(),
+                file: "crates/daemon/src/server.rs".into(),
+                line: 100,
+            },
+            ChainHop {
+                func: "scan_x::helper".into(),
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+            },
+        ];
+        let table = report.render_table();
+        assert!(table.contains("via scan_daemon::server::handle (crates/daemon/src/server.rs:100)"));
+        let ndjson = report.render_ndjson();
+        let first = ndjson.lines().next().unwrap();
+        assert!(
+            first.contains(
+                "\"chain\":[{\"fn\":\"scan_daemon::server::handle\",\"file\":\"crates/daemon/src/server.rs\",\"line\":100},"
+            ),
+            "line: {first}"
+        );
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Reachability over the workspace call graph.
+//!
+//! Semantic rules (L009/L012/L013/L014) all reduce to the same two
+//! primitives: a forward multi-root BFS that records parent pointers so a
+//! witness chain can be reconstructed, and a reverse closure ("which
+//! functions can reach this set"). Nodes can be *masked* (`#[cfg(test)]`
+//! items) in which case they are never entered and never extended.
+
+/// Result of a multi-root BFS: `visited[i]` iff node `i` is reachable from
+/// some root, `parent[i]` is the predecessor on one shortest path (roots
+/// and unvisited nodes have `parent[i] == usize::MAX`).
+#[derive(Debug)]
+pub struct Reach {
+    pub visited: Vec<bool>,
+    pub parent: Vec<usize>,
+}
+
+impl Reach {
+    /// Reconstruct the witness path root -> .. -> `node`. Empty when the
+    /// node was never reached.
+    #[must_use]
+    pub fn witness(&self, node: usize) -> Vec<usize> {
+        if node >= self.visited.len() || !self.visited[node] {
+            return Vec::new();
+        }
+        let mut path = vec![node];
+        let mut cur = node;
+        while self.parent[cur] != usize::MAX {
+            cur = self.parent[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Multi-root BFS over `adj`. Masked nodes are never visited, even when
+/// listed as roots, so `#[cfg(test)]` code neither triggers nor launders
+/// reachability.
+#[must_use]
+pub fn bfs(adj: &[Vec<usize>], roots: &[usize], masked: &[bool]) -> Reach {
+    let n = adj.len();
+    let mut visited = vec![false; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &r in roots {
+        if r < n && !masked[r] && !visited[r] {
+            visited[r] = true;
+            queue.push_back(r);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if v < n && !masked[v] && !visited[v] {
+                visited[v] = true;
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    Reach { visited, parent }
+}
+
+/// Reverse the adjacency so `reverse(adj)[v]` lists the callers of `v`.
+#[must_use]
+pub fn reverse(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut rev = vec![Vec::new(); adj.len()];
+    for (u, outs) in adj.iter().enumerate() {
+        for &v in outs {
+            if v < adj.len() {
+                rev[v].push(u);
+            }
+        }
+    }
+    rev
+}
+
+/// Set of nodes that can reach any node in `targets` (including the
+/// targets themselves), ignoring masked nodes.
+#[must_use]
+pub fn can_reach(adj: &[Vec<usize>], targets: &[usize], masked: &[bool]) -> Vec<bool> {
+    let rev = reverse(adj);
+    bfs(&rev, targets, masked).visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_records_witness_parents() {
+        // 0 -> 1 -> 2 -> 3, plus a shortcut 0 -> 3
+        let adj = vec![vec![1, 3], vec![2], vec![3], vec![]];
+        let r = bfs(&adj, &[0], &[false; 4]);
+        assert!(r.visited.iter().all(|&v| v));
+        assert_eq!(r.witness(3), vec![0, 3], "shortest path wins");
+        assert_eq!(r.witness(2), vec![0, 1, 2]);
+        assert_eq!(r.witness(0), vec![0]);
+    }
+
+    #[test]
+    fn masked_nodes_block_traversal() {
+        // 0 -> 1(masked) -> 2 : 2 must not be reachable through 1.
+        let adj = vec![vec![1], vec![2], vec![]];
+        let r = bfs(&adj, &[0], &[false, true, false]);
+        assert!(r.visited[0]);
+        assert!(!r.visited[1]);
+        assert!(!r.visited[2]);
+        // Masked roots are dropped entirely.
+        let r = bfs(&adj, &[1], &[false, true, false]);
+        assert!(r.visited.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let r = bfs(&adj, &[0], &[false; 3]);
+        assert!(r.visited.iter().all(|&v| v));
+        assert_eq!(r.witness(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn can_reach_is_reverse_reachability() {
+        // 0 -> 1 -> 2, 3 isolated; who can reach {2}?
+        let adj = vec![vec![1], vec![2], vec![], vec![]];
+        let reach = can_reach(&adj, &[2], &[false; 4]);
+        assert_eq!(reach, vec![true, true, true, false]);
+    }
+}

@@ -1,18 +1,26 @@
-//! The rule set: eleven workspace-contract lints over the token stream
-//! (Rust sources) and a line-oriented manifest check (`Cargo.toml`).
+//! The rule set: fourteen workspace-contract lints — lexical rules over
+//! the token stream (Rust sources), a line-oriented manifest check
+//! (`Cargo.toml`), and semantic rules over the workspace call graph
+//! (L009, L012, L013, L014).
 //!
 //! Each rule has an id, short name, severity, and fix-hint; findings
-//! carry the 1-based line/column of the offending token. Rules are
-//! scoped by path where the contract itself is path-scoped (wall-clock
-//! is the bench/obs crates' business; stdout belongs to the CLI and
-//! the experiment bins; `HashMap` is only a determinism hazard in the
-//! crates whose outputs must be bit-identical).
+//! carry the 1-based line/column of the offending token. Semantic
+//! findings additionally carry a witness call chain (root → … → site).
+//! Rules are scoped by path where the contract itself is path-scoped
+//! (wall-clock is the bench/obs/daemon crates' business; stdout belongs
+//! to the CLI and the experiment bins; `HashMap` is only a determinism
+//! hazard in the crates whose outputs must be bit-identical).
 //!
 //! Suppression happens at a higher level (config allow-paths and
 //! inline `// lint:allow`); rules here report everything they see.
 
-use crate::findings::{Finding, Severity};
+use crate::config::Config;
+use crate::findings::{ChainHop, Finding, Severity};
+use crate::graph::Graph;
 use crate::lexer::{Token, TokenKind};
+use crate::model::FactKind;
+use crate::reach;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The deterministic crates whose iteration order is contractual
 /// (serial vs parallel bit-identity, pinned RNG streams).
@@ -93,6 +101,7 @@ fn finding(
         message,
         hint,
         suppressed: None,
+        chain: Vec::new(),
     }
 }
 
@@ -341,9 +350,6 @@ pub fn check_rust(file: &str, tokens: &[Token]) -> (Vec<Finding>, Vec<u32>) {
             _ => {}
         }
     }
-    if under(file, SPAN_IO_CRATES) {
-        findings.extend(check_span_blocking_io(file, &sig));
-    }
     if under(file, OBS_HOT_PATHS) {
         findings.extend(check_obs_unwrap(file, &sig));
     }
@@ -417,155 +423,444 @@ fn check_obs_unwrap(file: &str, sig: &[&Token]) -> Vec<Finding> {
     findings
 }
 
-/// L009 — `no-blocking-io-inside-span`: within [`SPAN_IO_CRATES`], no
-/// `TcpStream` use, `File::create`/`File::open`, `fs::write`,
-/// `OpenOptions`, or `.write_all` call may sit between a span's open
-/// and its drop. Span liveness is tracked lexically: a guard bound by
-/// `span!(…)` / `span::enter(…)` / `span::enter_fmt(…)` lives until
-/// its enclosing block closes. Blocking I/O propagates one level
-/// through file-local helpers: a function whose signature or body
-/// mentions a blocking token is "dirty", and calling it under a live
-/// span is also a finding — factoring the write into a helper does
-/// not launder the wait out of the span.
-fn check_span_blocking_io(file: &str, sig: &[&Token]) -> Vec<Finding> {
-    let dirty = dirty_functions(sig);
+/// Runs the semantic (call-graph) rules: L009 `no-blocking-io-inside-
+/// span`, L012 `panic-freedom`, L013 `lock-order`, and L014
+/// `determinism-taint`. Findings carry witness chains.
+#[must_use]
+pub fn check_semantic(graph: &Graph, config: &Config) -> Vec<Finding> {
+    let adj = graph.adjacency();
+    let masked = graph.test_mask();
     let mut findings = Vec::new();
-    let mut depth = 0usize;
-    // Brace depths at which a span guard was bound; the guard dies
-    // when the depth drops back below its binding depth.
-    let mut live: Vec<usize> = Vec::new();
-    for (i, token) in sig.iter().enumerate() {
-        if token.is_punct('{') {
-            depth += 1;
-        } else if token.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            while live.last().is_some_and(|&d| d > depth) {
-                live.pop();
+    findings.extend(check_l009(graph, &adj, &masked));
+    // L012 walks a fence-filtered adjacency: a call inside a
+    // `catch_unwind(...)` argument cannot unwind its caller, so the
+    // panic-freedom contract stops at that boundary.
+    let unwind_adj: Vec<Vec<usize>> = graph
+        .edges
+        .iter()
+        .map(|es| es.iter().filter(|e| !e.fenced).map(|e| e.to).collect())
+        .collect();
+    findings.extend(check_l012(graph, &unwind_adj, &masked, config));
+    findings.extend(check_l013(graph, &adj, &masked));
+    findings.extend(check_l014(graph, &adj, &masked));
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings
+}
+
+/// Builds the witness chain for a forward path of node indices: each
+/// hop carries the call-site line into the next node; the final hop is
+/// the offending site itself.
+fn chain_for_path(graph: &Graph, path: &[usize], site_line: u32) -> Vec<ChainHop> {
+    let mut hops = Vec::new();
+    for w in path.windows(2) {
+        let line = graph
+            .edge(w[0], w[1])
+            .map_or(graph.nodes[w[0]].line, |e| e.line);
+        hops.push(ChainHop {
+            func: graph.nodes[w[0]].qual.clone(),
+            file: graph.nodes[w[0]].file.clone(),
+            line,
+        });
+    }
+    if let Some(&last) = path.last() {
+        hops.push(ChainHop {
+            func: graph.nodes[last].qual.clone(),
+            file: graph.nodes[last].file.clone(),
+            line: site_line,
+        });
+    }
+    hops
+}
+
+/// Forward path `from → … → nearest target` read out of a reverse-BFS
+/// (`rev_reach` computed over the reversed adjacency from the targets).
+fn forward_path(rev_reach: &reach::Reach, from: usize) -> Vec<usize> {
+    let mut path = rev_reach.witness(from);
+    path.reverse();
+    path
+}
+
+/// L009 (semantic) — within [`SPAN_IO_CRATES`], no blocking I/O may
+/// execute while a span guard is live: neither directly nor through any
+/// transitive callee, across files and crates. A function is I/O-dirty
+/// when its body contains a blocking token or its signature takes an
+/// I/O handle, or when it can reach such a function through the call
+/// graph. `#[cfg(test)]` code is exempt — test spans measure tests.
+fn check_l009(graph: &Graph, adj: &[Vec<usize>], masked: &[bool]) -> Vec<Finding> {
+    let io_nodes: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.facts.iter().any(|f| f.kind == FactKind::Io))
+        .map(|(i, _)| i)
+        .collect();
+    let rev = reach::reverse(adj);
+    let rev_reach = reach::bfs(&rev, &io_nodes, masked);
+    let mut findings = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if masked[i] || !under(&node.file, SPAN_IO_CRATES) {
+            continue;
+        }
+        for fact in &node.facts {
+            if fact.kind == FactKind::Io && fact.under_span && !fact.in_sig {
+                findings.push(finding(
+                    "L009",
+                    "no-blocking-io-inside-span",
+                    &node.file,
+                    fact.line,
+                    fact.col,
+                    format!(
+                        "`{}` while a span guard is live — the span's timing absorbs \
+                         the blocking wait",
+                        fact.what
+                    ),
+                    "drop the span guard before the I/O, or move the write out of the \
+                     instrumented region; suppress with a reason only if the span \
+                     deliberately measures the I/O itself",
+                ));
             }
         }
-        if token.kind != TokenKind::Ident {
-            continue;
-        }
-        let opens_span = (token.is_ident("span")
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('!')))
-            || ((token.is_ident("enter") || token.is_ident("enter_fmt"))
-                && i >= 3
-                && sig[i - 1].is_punct(':')
-                && sig[i - 2].is_punct(':')
-                && sig[i - 3].is_ident("span"));
-        if opens_span {
-            live.push(depth);
-            continue;
-        }
-        if live.is_empty() {
-            continue;
-        }
-        if blocking_io_token(sig, i) {
-            findings.push(finding(
+        for e in &graph.edges[i] {
+            if !e.under_span || masked[e.to] || !rev_reach.visited[e.to] {
+                continue;
+            }
+            let path = forward_path(&rev_reach, e.to);
+            let io_node = &graph.nodes[*path.last().unwrap_or(&e.to)];
+            let io_line = io_node
+                .facts
+                .iter()
+                .find(|f| f.kind == FactKind::Io)
+                .map_or(io_node.line, |f| f.line);
+            let mut chain = vec![ChainHop {
+                func: node.qual.clone(),
+                file: node.file.clone(),
+                line: e.line,
+            }];
+            chain.extend(chain_for_path(graph, &path, io_line));
+            let mut f = finding(
                 "L009",
                 "no-blocking-io-inside-span",
-                file,
-                token.line,
-                token.col,
+                &node.file,
+                e.line,
+                e.col,
                 format!(
-                    "`{}` while a span guard is live — the span's timing absorbs \
-                     the blocking wait",
-                    token.text
-                ),
-                "drop the span guard before the I/O, or move the write out of the \
-                 instrumented region; suppress with a reason only if the span \
-                 deliberately measures the I/O itself",
-            ));
-        } else if dirty.contains(&token.text.as_str())
-            && sig.get(i + 1).is_some_and(|t| t.is_punct('('))
-            && !(i > 0 && sig[i - 1].is_ident("fn"))
-        {
-            findings.push(finding(
-                "L009",
-                "no-blocking-io-inside-span",
-                file,
-                token.line,
-                token.col,
-                format!(
-                    "`{}(…)` while a span guard is live — the callee performs \
-                     blocking I/O, so the span's timing absorbs the wait",
-                    token.text
+                    "call to `{}` while a span guard is live — the callee (transitively) \
+                     performs blocking I/O, so the span's timing absorbs the wait",
+                    graph.nodes[e.to].qual
                 ),
                 "drop the span guard before the call, or move the I/O out of the \
                  instrumented region; suppress with a reason only if the span \
                  deliberately measures the I/O itself",
-            ));
+            );
+            f.chain = chain;
+            findings.push(f);
         }
     }
     findings
 }
 
-/// True when the ident at `i` is one of L009's blocking-I/O tokens:
-/// `TcpStream`, `OpenOptions`, `File::create`/`File::open`,
-/// `fs::write`/`fs::write_all`, or a `.write_all` method call.
-fn blocking_io_token(sig: &[&Token], i: usize) -> bool {
-    match sig[i].text.as_str() {
-        "TcpStream" | "OpenOptions" => true,
-        "File" => {
-            path_sep_follows(sig, i)
-                && sig
-                    .get(i + 3)
-                    .is_some_and(|t| t.is_ident("create") || t.is_ident("open"))
-        }
-        "fs" => {
-            path_sep_follows(sig, i)
-                && sig
-                    .get(i + 3)
-                    .is_some_and(|t| t.is_ident("write") || t.is_ident("write_all"))
-        }
-        "write_all" => i > 0 && sig[i - 1].is_punct('.'),
-        _ => false,
+/// L012 — `panic-freedom`: from the roots configured in `lint.toml
+/// [roots] panic_freedom`, no panic site may be transitively reachable
+/// outside `#[cfg(test)]`. Each finding sits at the panic site and
+/// carries the full witness call chain from the root. Inert when no
+/// roots are configured.
+fn check_l012(
+    graph: &Graph,
+    adj: &[Vec<usize>],
+    masked: &[bool],
+    config: &Config,
+) -> Vec<Finding> {
+    if config.panic_roots.is_empty() {
+        return Vec::new();
     }
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            !n.is_test
+                && config
+                    .panic_roots
+                    .iter()
+                    .any(|r| r.matches(&n.file, &n.name))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let r = reach::bfs(adj, &roots, masked);
+    let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !r.visited[i] {
+            continue;
+        }
+        for fact in &node.facts {
+            if fact.kind != FactKind::Panic
+                || fact.fenced
+                || !seen.insert((node.file.clone(), fact.line, fact.col))
+            {
+                continue;
+            }
+            let path = r.witness(i);
+            let root_qual = graph.nodes[path[0]].qual.clone();
+            let mut f = finding(
+                "L012",
+                "panic-freedom",
+                &node.file,
+                fact.line,
+                fact.col,
+                format!(
+                    "`{}` can panic and is reachable from root `{}` ({} call hop(s))",
+                    fact.what,
+                    root_qual,
+                    path.len() - 1,
+                ),
+                "make the path panic-free (handle the error, use checked ops/get()), \
+                 isolate it behind catch_unwind and suppress with that reason, or \
+                 drop the root from [roots] if it is not a liveness boundary",
+            );
+            f.chain = chain_for_path(graph, &path, fact.line);
+            findings.push(f);
+        }
+    }
+    findings
 }
 
-/// First pass for L009's call-through check: collects the names of
-/// file-local functions whose signature or body contains a blocking
-/// I/O token. Propagation is deliberately one level and file-local —
-/// deep interprocedural analysis is out of scope for a token-stream
-/// linter, and one hop already catches the "factored the write into a
-/// helper" shape.
-fn dirty_functions<'a>(sig: &[&'a Token]) -> Vec<&'a str> {
-    let mut dirty = Vec::new();
-    // Stack of (fn-name index, depth at the `fn` keyword, is_dirty).
-    let mut stack: Vec<(usize, usize, bool)> = Vec::new();
-    let mut depth = 0usize;
-    for (i, token) in sig.iter().enumerate() {
-        if token.is_punct('{') {
-            depth += 1;
-        } else if token.is_punct('}') {
-            depth = depth.saturating_sub(1);
-            while stack.last().is_some_and(|&(_, d, _)| d >= depth) {
-                let (name, _, is_dirty) = stack.pop().expect("checked non-empty");
-                if is_dirty && !dirty.contains(&sig[name].text.as_str()) {
-                    dirty.push(sig[name].text.as_str());
+/// One direction of an observed lock ordering, with its witness.
+struct LockWitness {
+    file: String,
+    line: u32,
+    col: u32,
+    chain: Vec<ChainHop>,
+}
+
+/// L013 — `lock-order`: nested lock acquisitions (direct, or a call
+/// made while holding a lock whose callee transitively acquires
+/// another) must follow one global partial order. When both `(a, b)`
+/// and `(b, a)` orders are observed anywhere in the workspace, both
+/// sites are reported, each with its witness chain.
+fn check_l013(graph: &Graph, adj: &[Vec<usize>], masked: &[bool]) -> Vec<Finding> {
+    // Lock names acquired anywhere (receiver idents; `<expr>` receivers
+    // are unattributable and excluded from ordering).
+    let mut lock_names: BTreeSet<&str> = BTreeSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if masked[i] {
+            continue;
+        }
+        for fact in &node.facts {
+            if fact.kind == FactKind::Lock && fact.what != "<expr>" {
+                lock_names.insert(fact.what.as_str());
+            }
+        }
+    }
+    // Per lock name: reverse reachability from its direct acquirers.
+    let rev = reach::reverse(adj);
+    let mut rev_reach: BTreeMap<&str, reach::Reach> = BTreeMap::new();
+    for name in &lock_names {
+        let holders: Vec<usize> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                !masked[*i]
+                    && n.facts
+                        .iter()
+                        .any(|f| f.kind == FactKind::Lock && f.what == *name)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        rev_reach.insert(name, reach::bfs(&rev, &holders, masked));
+    }
+
+    let mut orders: BTreeMap<(String, String), LockWitness> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if masked[i] {
+            continue;
+        }
+        // Direct nested acquisitions inside one function.
+        for p in &node.lock_pairs {
+            if p.first.name == "<expr>" || p.second.name == "<expr>" {
+                continue;
+            }
+            let key = (p.first.name.clone(), p.second.name.clone());
+            orders.entry(key).or_insert_with(|| {
+                let col = lock_col(graph, i, &p.second.name, p.second.line);
+                LockWitness {
+                    file: node.file.clone(),
+                    line: p.second.line,
+                    col,
+                    chain: vec![
+                        ChainHop {
+                            func: node.qual.clone(),
+                            file: node.file.clone(),
+                            line: p.first.line,
+                        },
+                        ChainHop {
+                            func: node.qual.clone(),
+                            file: node.file.clone(),
+                            line: p.second.line,
+                        },
+                    ],
+                }
+            });
+        }
+        // Calls made while holding a lock, into callees that acquire.
+        for e in &graph.edges[i] {
+            if e.held_locks.is_empty() || masked[e.to] {
+                continue;
+            }
+            for (name, rr) in &rev_reach {
+                if !rr.visited[e.to] {
+                    continue;
+                }
+                for held in &e.held_locks {
+                    if held.name == **name || held.name == "<expr>" {
+                        continue;
+                    }
+                    let key = (held.name.clone(), (*name).to_string());
+                    if orders.contains_key(&key) {
+                        continue;
+                    }
+                    let path = forward_path(rr, e.to);
+                    let acq = &graph.nodes[*path.last().unwrap_or(&e.to)];
+                    let acq_line = acq
+                        .facts
+                        .iter()
+                        .find(|f| f.kind == FactKind::Lock && f.what == **name)
+                        .map_or(acq.line, |f| f.line);
+                    let mut chain = vec![
+                        ChainHop {
+                            func: node.qual.clone(),
+                            file: node.file.clone(),
+                            line: held.line,
+                        },
+                        ChainHop {
+                            func: node.qual.clone(),
+                            file: node.file.clone(),
+                            line: e.line,
+                        },
+                    ];
+                    chain.extend(chain_for_path(graph, &path, acq_line));
+                    orders.insert(
+                        key,
+                        LockWitness {
+                            file: node.file.clone(),
+                            line: e.line,
+                            col: e.col,
+                            chain,
+                        },
+                    );
                 }
             }
         }
-        if token.kind != TokenKind::Ident {
+    }
+
+    let mut findings = Vec::new();
+    let keys: Vec<(String, String)> = orders.keys().cloned().collect();
+    for key in &keys {
+        let (a, b) = key;
+        if a >= b {
+            continue; // visit each unordered pair once
+        }
+        let rev_key = (b.clone(), a.clone());
+        if !orders.contains_key(&rev_key) {
             continue;
         }
-        if token.is_ident("fn")
-            && sig.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
-        {
-            stack.push((i + 1, depth, false));
-        } else if blocking_io_token(sig, i) {
-            if let Some(frame) = stack.last_mut() {
-                frame.2 = true;
+        for (fwd, other) in [(key, &rev_key), (&rev_key, key)] {
+            let w = &orders[fwd];
+            let o = &orders[other];
+            let mut f = finding(
+                "L013",
+                "lock-order",
+                &w.file,
+                w.line,
+                w.col,
+                format!(
+                    "lock `{}` is held while acquiring `{}`, but the reverse order \
+                     occurs at {}:{} — inconsistent lock order can deadlock",
+                    fwd.0, fwd.1, o.file, o.line,
+                ),
+                "pick one global acquisition order for these locks and restructure \
+                 one of the two paths to follow it",
+            );
+            f.chain = w.chain.clone();
+            findings.push(f);
+        }
+    }
+    findings
+}
+
+/// Column of the lock acquisition fact matching (`name`, `line`) in
+/// node `i`, defaulting to 1.
+fn lock_col(graph: &Graph, i: usize, name: &str, line: u32) -> u32 {
+    graph.nodes[i]
+        .facts
+        .iter()
+        .find(|f| f.kind == FactKind::Lock && f.what == name && f.line == line)
+        .map_or(1, |f| f.col)
+}
+
+/// L014 — `determinism-taint`: the transitive closure of the L002/L003/
+/// L004 tokens. A deterministic-core function that (transitively)
+/// reaches ambient RNG, a wall-clock read, or unordered iteration —
+/// even through helpers in other files and crates — taints the
+/// diagnosis result. Sites inside the deterministic crates themselves
+/// are already covered lexically; wall-clock and unordered sites inside
+/// the crates licensed to use them ([`WALL_CLOCK_CRATES`]) are fine
+/// unless a core function reaches ambient RNG there.
+fn check_l014(graph: &Graph, adj: &[Vec<usize>], masked: &[bool]) -> Vec<Finding> {
+    let roots: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !n.is_test && under(&n.file, DETERMINISTIC_CRATES))
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return Vec::new();
+    }
+    let r = reach::bfs(adj, &roots, masked);
+    let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !r.visited[i] || under(&node.file, DETERMINISTIC_CRATES) {
+            continue;
+        }
+        for fact in &node.facts {
+            let (flagged, label) = match fact.kind {
+                FactKind::Rng => (true, "ambient RNG"),
+                FactKind::Clock => (!under(&node.file, WALL_CLOCK_CRATES), "wall clock"),
+                FactKind::Unordered => (
+                    !under(&node.file, WALL_CLOCK_CRATES),
+                    "unordered iteration",
+                ),
+                _ => (false, ""),
+            };
+            if !flagged || !seen.insert((node.file.clone(), fact.line, fact.col)) {
+                continue;
             }
+            let path = r.witness(i);
+            let root_qual = graph.nodes[path[0]].qual.clone();
+            let mut f = finding(
+                "L014",
+                "determinism-taint",
+                &node.file,
+                fact.line,
+                fact.col,
+                format!(
+                    "`{}` ({label}) is transitively reachable from deterministic-core \
+                     function `{}` — nondeterminism leaks into diagnosis results",
+                    fact.what, root_qual,
+                ),
+                "replace the nondeterministic source (BTreeMap, scan-rng streams, \
+                 injected clocks) or break the call path out of the deterministic core",
+            );
+            f.chain = chain_for_path(graph, &path, fact.line);
+            findings.push(f);
         }
     }
-    // Functions still open at EOF (unbalanced braces) drain here.
-    for (name, _, is_dirty) in stack {
-        if is_dirty && !dirty.contains(&sig[name].text.as_str()) {
-            dirty.push(sig[name].text.as_str());
-        }
-    }
-    dirty
+    findings
 }
 
 /// True when significant tokens `i+1`, `i+2` are `::`.
@@ -848,67 +1143,211 @@ mod tests {
         );
     }
 
+    /// Builds a workspace graph from (file, source) pairs and runs the
+    /// semantic rules under `config`.
+    fn semantic(files: &[(&str, &str)], config: &Config) -> Vec<Finding> {
+        let models: Vec<crate::model::FileModel> = files
+            .iter()
+            .map(|(file, src)| {
+                crate::model::build_file_model(
+                    file,
+                    &crate::graph::fallback_crate_ident(file),
+                    &tokenize(src),
+                )
+            })
+            .collect();
+        check_semantic(&Graph::build(&models), config)
+    }
+
+    fn semantic_default(files: &[(&str, &str)]) -> Vec<Finding> {
+        semantic(files, &Config::default())
+    }
+
     #[test]
     fn l009_flags_blocking_io_under_live_span() {
         // Blocking write while the span guard is live.
         let bad = "fn f() { let _s = scan_obs::span!(\"hot\"); \
-                   std::fs::write(path, data).unwrap(); }";
-        assert_eq!(rules_of(&rust_findings("crates/core/src/a.rs", bad)), vec!["L009"]);
+                   std::fs::write(path, data).ok(); }";
+        let f = semantic_default(&[("crates/core/src/a.rs", bad)]);
+        assert_eq!(rules_of(&f), vec!["L009"]);
 
         // Same I/O after the span's block has closed is fine.
         let good = "fn f() { { let _s = scan_obs::span!(\"hot\"); work(); } \
-                    std::fs::write(path, data).unwrap(); }";
-        assert!(rust_findings("crates/core/src/a.rs", good).is_empty());
+                    std::fs::write(path, data).ok(); }";
+        assert!(semantic_default(&[("crates/core/src/a.rs", good)]).is_empty());
 
         // span::enter and socket writes count too.
         let socket = "fn f() { let _s = span::enter(\"scrape\"); \
                       stream.write_all(b\"x\").ok(); }";
-        assert_eq!(rules_of(&rust_findings("crates/obs/src/a.rs", socket)), vec!["L009"]);
+        assert_eq!(
+            rules_of(&semantic_default(&[("crates/obs/src/a.rs", socket)])),
+            vec!["L009"]
+        );
         let tcp = "fn f() { let _s = scan_obs::span!(\"net\"); \
                    let c = TcpStream::connect(addr); }";
-        assert_eq!(rules_of(&rust_findings("crates/sim/src/a.rs", tcp)), vec!["L009"]);
+        assert_eq!(
+            rules_of(&semantic_default(&[("crates/sim/src/a.rs", tcp)])),
+            vec!["L009"]
+        );
 
         // I/O with no span live, and spans with no I/O, are fine.
-        assert!(rust_findings(
+        assert!(semantic_default(&[(
             "crates/core/src/a.rs",
-            "fn f() { std::fs::write(path, data).unwrap(); }"
-        )
+            "fn f() { std::fs::write(path, data).ok(); }"
+        )])
         .is_empty());
-        assert!(rust_findings(
+        assert!(semantic_default(&[(
             "crates/core/src/a.rs",
             "fn f() { let _s = scan_obs::span!(\"hot\"); work(); }"
-        )
+        )])
         .is_empty());
 
         // Out-of-scope crates (the CLI writes files under spans by
         // design) are not flagged.
-        assert!(rust_findings("crates/cli/src/commands.rs", bad).is_empty());
+        assert!(semantic_default(&[("crates/cli/src/commands.rs", bad)]).is_empty());
+    }
 
-        // Factoring the write into a file-local helper does not
-        // launder the wait out of the span: calling a dirty function
-        // under a live span is flagged too (one hop, file-local).
-        let laundered = "fn f(c: &mut S) { let _s = scan_obs::span!(\"scrape\"); \
-                         respond(c); } \
-                         fn respond(c: &mut S) { c.write_all(b\"x\").ok(); }";
-        assert_eq!(
-            rules_of(&rust_findings("crates/obs/src/a.rs", laundered)),
-            vec!["L009"]
-        );
+    #[test]
+    fn l009_propagates_through_the_call_graph() {
+        // Factoring the write into a helper does not launder the wait
+        // out of the span — including across files and crates, through
+        // more than one hop.
+        let caller = "fn f(c: &mut S) { let _s = scan_obs::span!(\"scrape\"); respond(c); }";
+        let hop = "pub fn respond(c: &mut S) { deep(c); }";
+        let io = "pub fn deep(c: &mut S) { c.write_all(b\"x\").ok(); }";
+        let f = semantic_default(&[
+            ("crates/obs/src/a.rs", caller),
+            ("crates/obs/src/b.rs", hop),
+            ("crates/netlist/src/c.rs", io),
+        ]);
+        assert_eq!(rules_of(&f), vec!["L009"]);
+        let chain = &f[0].chain;
+        assert!(chain.len() >= 3, "chain: {chain:?}");
+        assert_eq!(chain[0].file, "crates/obs/src/a.rs");
+        assert_eq!(chain.last().unwrap().file, "crates/netlist/src/c.rs");
 
         // The same helper called with no span live is fine, and the
         // helper's own definition is never flagged.
         let clean_call = "fn f(c: &mut S) { respond(c); } \
                           fn respond(c: &mut S) { c.write_all(b\"x\").ok(); }";
-        assert!(rust_findings("crates/obs/src/a.rs", clean_call).is_empty());
+        assert!(semantic_default(&[("crates/obs/src/a.rs", clean_call)]).is_empty());
 
         // A dirty signature (takes a TcpStream) marks the helper too,
         // even when declared after its call site.
         let sig_dirty = "fn f() { let _s = scan_obs::span!(\"net\"); probe(c); } \
                          fn probe(c: TcpStream) { c.peer_addr().ok(); }";
         assert_eq!(
-            rules_of(&rust_findings("crates/obs/src/a.rs", sig_dirty)),
+            rules_of(&semantic_default(&[("crates/obs/src/a.rs", sig_dirty)])),
             vec!["L009"]
         );
+
+        // `#[cfg(test)]` spans measuring test I/O are exempt.
+        let test_span = "#[cfg(test)]\nmod tests {\n fn t() { \
+                         let _s = scan_obs::span!(\"io\"); \
+                         std::fs::write(p, d).ok(); } }";
+        assert!(semantic_default(&[("crates/obs/src/a.rs", test_span)]).is_empty());
+    }
+
+    #[test]
+    fn l012_panic_reachability_with_witness_chain() {
+        let config = Config::parse(
+            "[roots]\npanic_freedom = [\"crates/daemon/src/server.rs::handle\"]\n",
+        )
+        .unwrap();
+        let server = "pub fn handle(req: Req) -> Resp { plan_build(req) }";
+        let core = "pub fn plan_build(req: Req) -> Resp { req.parts.first().unwrap() }";
+        let f = semantic(
+            &[
+                ("crates/daemon/src/server.rs", server),
+                ("crates/core/src/plan.rs", core),
+            ],
+            &config,
+        );
+        assert_eq!(rules_of(&f), vec!["L012"]);
+        assert_eq!(f[0].file, "crates/core/src/plan.rs");
+        let chain = &f[0].chain;
+        assert_eq!(chain.len(), 2, "chain: {chain:?}");
+        assert_eq!(chain[0].file, "crates/daemon/src/server.rs");
+        assert_eq!(chain[1].file, "crates/core/src/plan.rs");
+
+        // Without roots the rule is inert.
+        let f = semantic_default(&[
+            ("crates/daemon/src/server.rs", server),
+            ("crates/core/src/plan.rs", core),
+        ]);
+        assert!(f.iter().all(|x| x.rule != "L012"));
+
+        // Panic sites only reachable through #[cfg(test)] code are fine.
+        let masked = "pub fn handle(req: Req) -> Resp { ok(req) }\n\
+                      pub fn ok(r: Req) -> Resp { Resp::empty() }\n\
+                      #[cfg(test)]\nmod tests { fn t() { boom(); } }\n\
+                      pub fn boom() { panic!(\"only tests reach me… via tests\") }";
+        let f = semantic(&[("crates/daemon/src/server.rs", masked)], &config);
+        assert!(f.iter().all(|x| x.rule != "L012"), "{f:?}");
+    }
+
+    #[test]
+    fn l013_inconsistent_lock_order_reports_both_witnesses() {
+        let a = "pub fn queue_then_cache(s: &S) {\n\
+                 let q = s.queue.lock();\n\
+                 cache_touch(s);\n\
+                 }";
+        let b = "pub fn cache_touch(s: &S) { let c = s.cache.lock(); }\n\
+                 pub fn cache_then_queue(s: &S) {\n\
+                 let c = s.cache.lock();\n\
+                 let q = s.queue.lock();\n\
+                 }";
+        let f = semantic_default(&[
+            ("crates/daemon/src/a.rs", a),
+            ("crates/daemon/src/b.rs", b),
+        ]);
+        let l013: Vec<&Finding> = f.iter().filter(|x| x.rule == "L013").collect();
+        assert_eq!(l013.len(), 2, "{f:?}");
+        // One witness spans two files (queue held in a.rs, cache
+        // acquired in b.rs), the other is the direct pair in b.rs.
+        assert!(l013
+            .iter()
+            .any(|x| x.chain.iter().any(|h| h.file == "crates/daemon/src/a.rs")
+                && x.chain.iter().any(|h| h.file == "crates/daemon/src/b.rs")));
+
+        // A consistent global order produces no findings.
+        let consistent = "pub fn f(s: &S) { let q = s.queue.lock(); let c = s.cache.lock(); }\n\
+                          pub fn g(s: &S) { let q = s.queue.lock(); let c = s.cache.lock(); }";
+        assert!(semantic_default(&[("crates/daemon/src/a.rs", consistent)]).is_empty());
+    }
+
+    #[test]
+    fn l014_taint_reaches_through_other_crates() {
+        let core = "pub fn summarize(x: &X) -> Y { helper_stats(x) }";
+        let helper = "pub fn helper_stats(x: &X) -> Y { \
+                      let m: HashMap<u32, u32> = HashMap::new(); m.into() }";
+        let f = semantic_default(&[
+            ("crates/core/src/diag.rs", core),
+            ("crates/netlist/src/stats.rs", helper),
+        ]);
+        let l014: Vec<&Finding> = f.iter().filter(|x| x.rule == "L014").collect();
+        assert_eq!(l014.len(), 2, "two HashMap tokens: {f:?}");
+        assert_eq!(l014[0].file, "crates/netlist/src/stats.rs");
+        assert_eq!(l014[0].chain[0].file, "crates/core/src/diag.rs");
+
+        // The same helper not reachable from core is fine.
+        assert!(semantic_default(&[("crates/netlist/src/stats.rs", helper)]).is_empty());
+
+        // Wall-clock reads in the crates licensed for them are fine
+        // even when core reaches them; ambient RNG never is.
+        let core2 = "pub fn run(x: &X) { scan_bench::timing::measure(x); }";
+        let bench = "pub fn measure(x: &X) { let t = Instant::now(); }";
+        let f = semantic_default(&[
+            ("crates/core/src/diag.rs", core2),
+            ("crates/bench/src/timing.rs", bench),
+        ]);
+        assert!(f.iter().all(|x| x.rule != "L014"), "{f:?}");
+        let bench_rng = "pub fn measure(x: &X) { let r = thread_rng(); }";
+        let f = semantic_default(&[
+            ("crates/core/src/diag.rs", core2),
+            ("crates/bench/src/timing.rs", bench_rng),
+        ]);
+        assert!(f.iter().any(|x| x.rule == "L014"), "{f:?}");
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::process::Command;
 
 use scan_lint::{lint_workspace, load_config, Config};
 
-/// All eleven rules with their seeded fixture directory.
+/// All fourteen rules with their seeded fixture directory. The
+/// semantic rules (L012-L014) ship fixture-local `lint.toml` files
+/// ([roots] declarations), picked up via `load_config`.
 const RULES: &[(&str, &str)] = &[
     ("L001", "l001"),
     ("L002", "l002"),
@@ -23,6 +25,9 @@ const RULES: &[(&str, &str)] = &[
     ("L009", "l009"),
     ("L010", "l010"),
     ("L011", "l011"),
+    ("L012", "l012"),
+    ("L013", "l013"),
+    ("L014", "l014"),
 ];
 
 fn fixture(name: &str) -> PathBuf {
@@ -34,8 +39,9 @@ fn fixture(name: &str) -> PathBuf {
 #[test]
 fn every_deny_fixture_triggers_its_rule() {
     for (rule, dir) in RULES {
-        let report = lint_workspace(&fixture(&format!("deny/{dir}")), &Config::default())
-            .expect("fixture tree walks");
+        let root = fixture(&format!("deny/{dir}"));
+        let config = load_config(&root).expect("fixture config parses");
+        let report = lint_workspace(&root, &config).expect("fixture tree walks");
         let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
         assert!(
             rules.contains(rule),
@@ -77,7 +83,64 @@ fn clean_fixture_suppresses_everything() {
         .iter()
         .filter(|f| f.suppressed.is_some())
         .count();
-    assert_eq!(suppressed, 2, "one lint.toml allow + one inline allow");
+    assert_eq!(
+        suppressed, 6,
+        "lint.toml L006, inline L003/L012/L014, and both L013 directions"
+    );
+}
+
+#[test]
+fn l012_witness_chain_spans_files() {
+    let root = fixture("deny/l012");
+    let config = load_config(&root).expect("fixture lint.toml parses");
+    let report = lint_workspace(&root, &config).expect("fixture tree walks");
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "L012")
+        .expect("L012 fires");
+    // The chain starts at the declared root in the daemon fixture crate
+    // and ends at the panic site in the core fixture crate.
+    let hops: Vec<(&str, &str)> = finding
+        .chain
+        .iter()
+        .map(|h| (h.func.as_str(), h.file.as_str()))
+        .collect();
+    assert_eq!(
+        hops,
+        vec![
+            ("scan_daemon::server::serve", "crates/daemon/src/server.rs"),
+            ("scan_core::plan::build_plan", "crates/core/src/plan.rs"),
+        ],
+        "witness chain should span both fixture files"
+    );
+    assert_eq!(finding.file, "crates/core/src/plan.rs");
+    // The fenced `risky` path must stay quiet: exactly one L012.
+    assert_eq!(
+        report.findings.iter().filter(|f| f.rule == "L012").count(),
+        1,
+        "the catch_unwind-fenced path must not be reported"
+    );
+}
+
+#[test]
+fn l013_reports_both_witness_chains() {
+    let root = fixture("deny/l013");
+    let report = lint_workspace(&root, &load_config(&root).expect("config"))
+        .expect("fixture tree walks");
+    let l013: Vec<_> = report.findings.iter().filter(|f| f.rule == "L013").collect();
+    assert_eq!(l013.len(), 2, "one finding per acquisition direction");
+    // The cross-file direction's chain walks sweep.rs into state.rs.
+    let cross = l013
+        .iter()
+        .find(|f| f.file.ends_with("sweep.rs"))
+        .expect("cross-file witness present");
+    let files: Vec<&str> = cross.chain.iter().map(|h| h.file.as_str()).collect();
+    assert!(
+        files.contains(&"crates/daemon/src/sweep.rs")
+            && files.contains(&"crates/daemon/src/state.rs"),
+        "chain should span both files: {files:?}"
+    );
 }
 
 fn scan_lint(args: &[&str]) -> std::process::Output {

@@ -1,0 +1,10 @@
+//! Suppressed semantic-rule violations (L012/L014): each would fire
+//! without its written justification.
+
+/// Panic-freedom root (see this fixture's `lint.toml [roots]`); also
+/// reaches the suppressed taint in `crates/svc`.
+pub fn entry(labels: &[&str]) -> usize {
+    // lint:allow(L012): the fixture always passes a nonempty slice
+    let first = labels.first().unwrap();
+    scan_svc::histogram(first, labels)
+}

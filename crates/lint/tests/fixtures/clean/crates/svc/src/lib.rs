@@ -1,0 +1,33 @@
+//! Suppressed L013/L014 violations: an unordered map reachable from
+//! the core, and a lock pair acquired in both orders.
+
+use std::collections::HashMap;
+
+/// Reached from the deterministic core — the map use below would be an
+/// L014 taint without the directive.
+pub fn histogram(first: &str, labels: &[&str]) -> usize {
+    // lint:allow(L014): membership-only counting map in a demo helper
+    let mut counts = HashMap::new();
+    for l in labels {
+        *counts.entry(*l).or_insert(0usize) += 1;
+    }
+    counts.len() + first.len()
+}
+
+pub struct State;
+
+/// Acquires `queue` then `cache`.
+pub fn fill(s: &State) {
+    let q = s.queue.lock();
+    // lint:allow(L013): fixture pins the suppressed direction of the pair
+    let c = s.cache.lock();
+    let _ = (q, c);
+}
+
+/// Acquires `cache` then `queue` — the reverse of `fill`.
+pub fn drain(s: &State) {
+    let c = s.cache.lock();
+    // lint:allow(L013): fixture pins the suppressed direction of the pair
+    let q = s.queue.lock();
+    let _ = (c, q);
+}

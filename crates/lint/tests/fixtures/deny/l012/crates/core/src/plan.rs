@@ -1,0 +1,13 @@
+//! Planner half of the seeded L012 chain.
+
+/// Panics on an empty request — reachable from `serve`, unfenced.
+pub fn build_plan(req: &[u32]) -> u32 {
+    let step = req.iter().max().unwrap();
+    *step
+}
+
+/// Also panics on empty input, but every caller fences it, so L012
+/// stays quiet about this one.
+pub fn risky(req: &[u32]) -> u32 {
+    *req.iter().min().unwrap()
+}

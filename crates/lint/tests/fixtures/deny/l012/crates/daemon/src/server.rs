@@ -1,0 +1,11 @@
+//! Seeded L012 fixture: the `serve` root (named in this fixture's
+//! `lint.toml [roots]`) reaches an unfenced panic site in the core
+//! planner, two files away.
+
+/// Entry point listed in `[roots] panic_freedom`.
+pub fn serve(req: &[u32]) -> u32 {
+    // The fenced probe is invisible to L012 — a panic cannot unwind
+    // through `catch_unwind`.
+    let _probe = std::panic::catch_unwind(|| scan_core::plan::risky(req));
+    scan_core::plan::build_plan(req)
+}

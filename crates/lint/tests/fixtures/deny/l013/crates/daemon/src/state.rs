@@ -1,0 +1,17 @@
+//! Forward half of the seeded L013 pair: `queue` before `cache`.
+
+pub struct State;
+
+/// Acquires `queue`, then `cache`, in one scope.
+pub fn enqueue(s: &State) {
+    let q = s.queue.lock();
+    let c = s.cache.lock();
+    let _ = (q, c);
+}
+
+/// Acquires `queue` alone — the tail of the reverse-order chain that
+/// starts in `sweep.rs`.
+pub fn evict(s: &State) {
+    let q = s.queue.lock();
+    let _ = q;
+}

@@ -1,0 +1,8 @@
+//! Reverse half of the seeded L013 pair, cross-file: holds `cache`
+//! while calling into `state::evict`, which acquires `queue`.
+
+pub fn sweep(s: &crate::state::State) {
+    let c = s.cache.lock();
+    crate::state::evict(s);
+    let _ = c;
+}

@@ -1,0 +1,8 @@
+//! Seeded L014 fixture: a deterministic-core function reaches
+//! unordered iteration in a helper crate, one call away.
+
+/// Summarizes labels by calling the support histogram — which iterates
+/// a `HashMap`.
+pub fn summarize(labels: &[&str]) -> usize {
+    scan_support::histogram(labels)
+}

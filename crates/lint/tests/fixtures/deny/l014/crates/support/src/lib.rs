@@ -1,0 +1,13 @@
+//! Support helper — harmless on its own (it is not a deterministic
+//! crate), tainting once the core reaches it.
+
+use std::collections::HashMap;
+
+/// Counts distinct labels; map iteration order is unspecified.
+pub fn histogram(labels: &[&str]) -> usize {
+    let mut counts = HashMap::new();
+    for l in labels {
+        *counts.entry(*l).or_insert(0usize) += 1;
+    }
+    counts.len()
+}

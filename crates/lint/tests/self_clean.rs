@@ -6,7 +6,7 @@
 
 use std::path::Path;
 
-use scan_lint::{lint_workspace, load_config};
+use scan_lint::{lint_workspace_with_graph, load_config};
 
 #[test]
 fn workspace_is_lint_clean_under_deny() {
@@ -15,7 +15,7 @@ fn workspace_is_lint_clean_under_deny() {
         .canonicalize()
         .expect("workspace root resolves");
     let config = load_config(&root).expect("checked-in lint.toml parses");
-    let report = lint_workspace(&root, &config).expect("workspace walks");
+    let (report, graph) = lint_workspace_with_graph(&root, &config).expect("workspace walks");
     let unsuppressed: Vec<String> = report
         .findings
         .iter()
@@ -30,4 +30,16 @@ fn workspace_is_lint_clean_under_deny() {
     // Sanity: the walk actually covered the workspace.
     assert!(report.rust_files > 100, "walked {} files", report.rust_files);
     assert!(report.manifests >= 10, "walked {} manifests", report.manifests);
+    // The semantic layer must not be vacuous: the call graph links real
+    // cross-function edges, and the checked-in config declares the
+    // panic-freedom roots the daemon's liveness story rests on.
+    assert!(graph.nodes.len() > 500, "{} graph nodes", graph.nodes.len());
+    assert!(
+        graph.edges.iter().map(Vec::len).sum::<usize>() > 500,
+        "call graph has suspiciously few edges"
+    );
+    assert!(
+        !config.panic_roots.is_empty(),
+        "lint.toml lost its [roots] panic_freedom declarations"
+    );
 }

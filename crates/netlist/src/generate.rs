@@ -184,6 +184,7 @@ pub fn generate_with(profile: &CircuitProfile, seed: u64, config: &GeneratorConf
     }
     sources.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Nets already read by some gate (dangling-logic avoidance).
+    // lint:allow(L014): membership-only set (contains/insert), never iterated
     let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
 
     // Gate cloud: `levels` layers; each layer draws inputs from a window

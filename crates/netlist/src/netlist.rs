@@ -232,6 +232,7 @@ impl NetlistBuilder {
         NetlistBuilder {
             name: name.into(),
             net_names: Vec::new(),
+            // lint:allow(L014): name→id lookup only (get/insert), never iterated
             by_name: HashMap::new(),
             drivers: Vec::new(),
             gates: Vec::new(),
@@ -349,6 +350,7 @@ impl NetlistBuilder {
     pub fn finish(self) -> Result<Netlist, NetlistError> {
         // Duplicate primary input declarations.
         {
+            // lint:allow(L014): duplicate detection via insert(), never iterated
             let mut seen = std::collections::HashSet::new();
             for &i in &self.inputs {
                 if !seen.insert(i) {

@@ -53,6 +53,8 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
     let mut contexts = 0usize;
     let mut alerts = 0usize;
     let mut flights = 0usize;
+    let mut graph_fns = 0usize;
+    let mut graph_edges = 0usize;
     let mut lines = 0usize;
     let mut stamp: Option<String> = None;
     for (index, line) in text.lines().enumerate() {
@@ -121,6 +123,20 @@ fn check_ndjson(path: &str, text: &str) -> Result<(), String> {
             }
             "lint" => {
                 check_lint_summary(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+            }
+            "graph_fn" => {
+                check_graph_fn(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                graph_fns += 1;
+            }
+            "graph_edge" => {
+                check_graph_edge(&value)
+                    .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
+                graph_edges += 1;
+            }
+            "graph" => {
+                check_graph_summary(&value, graph_fns, graph_edges)
                     .map_err(|e| format!("{path}:{}: {e}", index + 1))?;
             }
             "alert" => {
@@ -324,6 +340,110 @@ fn check_finding_event(value: &Value) -> Result<(), String> {
         if !ok {
             return Err(format!("finding event missing positive \"{member}\""));
         }
+    }
+    // Semantic findings (L009, L012-L014) may carry a witness chain:
+    // the call path from the root to the offending site. Optional, but
+    // when present every hop must be fully addressed.
+    if let Some(chain) = value.get("chain") {
+        let hops = chain
+            .as_array()
+            .ok_or("finding \"chain\" must be an array")?;
+        for hop in hops {
+            for member in ["fn", "file"] {
+                if hop.get(member).and_then(Value::as_str).is_none() {
+                    return Err(format!("chain hop missing string \"{member}\""));
+                }
+            }
+            let line_ok = hop
+                .get("line")
+                .and_then(Value::as_f64)
+                .is_some_and(|v| v >= 1.0);
+            if !line_ok {
+                return Err("chain hop missing positive \"line\"".to_owned());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One function node from a `scan-lint --graph` export: a stable
+/// numeric id, the fully-qualified name, its definition site, and the
+/// per-node fact counts the semantic rules traverse.
+fn check_graph_fn(value: &Value) -> Result<(), String> {
+    for member in ["fn", "file"] {
+        if value.get(member).and_then(Value::as_str).is_none() {
+            return Err(format!("graph_fn record missing string \"{member}\""));
+        }
+    }
+    if !matches!(value.get("test"), Some(Value::Bool(_))) {
+        return Err("graph_fn record missing bool \"test\"".to_owned());
+    }
+    for member in ["id", "line", "calls", "panics", "locks", "io", "taints"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("graph_fn record missing non-negative \"{member}\""));
+        }
+    }
+    Ok(())
+}
+
+/// One resolved call edge from a `scan-lint --graph` export. The
+/// `from`/`to` ids refer back to earlier `graph_fn` records; the
+/// qualified names ride along so the stream reads standalone.
+fn check_graph_edge(value: &Value) -> Result<(), String> {
+    for member in ["from_fn", "to_fn", "file"] {
+        if value.get(member).and_then(Value::as_str).is_none() {
+            return Err(format!("graph_edge record missing string \"{member}\""));
+        }
+    }
+    for member in ["from", "to", "line"] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!(
+                "graph_edge record missing non-negative \"{member}\""
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The trailing `scan-lint --graph` summary: totals that must agree
+/// with the `graph_fn`/`graph_edge` records streamed above it.
+fn check_graph_summary(value: &Value, fns: usize, edges: usize) -> Result<(), String> {
+    for member in [
+        "files",
+        "functions",
+        "edges",
+        "unresolved",
+        "panic_sites",
+        "lock_sites",
+        "taint_sites",
+    ] {
+        let ok = value
+            .get(member)
+            .and_then(Value::as_f64)
+            .is_some_and(|v| v >= 0.0);
+        if !ok {
+            return Err(format!("graph summary missing non-negative \"{member}\""));
+        }
+    }
+    let functions = value.get("functions").and_then(Value::as_f64);
+    if functions != Some(fns as f64) {
+        return Err(format!(
+            "graph summary claims {functions:?} functions, stream carried {fns}"
+        ));
+    }
+    let edge_total = value.get("edges").and_then(Value::as_f64);
+    if edge_total != Some(edges as f64) {
+        return Err(format!(
+            "graph summary claims {edge_total:?} edges, stream carried {edges}"
+        ));
     }
     Ok(())
 }

@@ -148,6 +148,7 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Value) -> Result<Value, JsonError> {
+        // lint:allow(L012): cursor invariant `pos <= len` holds between calls
         if self.bytes[self.pos..].starts_with(text.as_bytes()) {
             self.pos += text.len();
             Ok(value)
@@ -260,6 +261,7 @@ impl Parser<'_> {
                     if end > self.bytes.len() {
                         return Err(self.err("truncated UTF-8 sequence"));
                     }
+                    // lint:allow(L012): `end > len` is rejected just above
                     let chunk = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
                     out.push_str(chunk);
@@ -273,6 +275,7 @@ impl Parser<'_> {
         let code = self.hex4()?;
         // Surrogate pair handling for completeness.
         if (0xD800..0xDC00).contains(&code) {
+            // lint:allow(L012): cursor invariant `pos <= len` holds between calls
             if self.bytes[self.pos..].starts_with(b"\\u") {
                 self.pos += 2;
                 let low = self.hex4()?;
@@ -327,6 +330,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // lint:allow(L012): `start <= pos <= len` — both are cursor positions
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         text.parse::<f64>()

@@ -125,6 +125,7 @@ impl Histogram {
 
     fn record(&mut self, value: u64) {
         let bucket = self.edges.partition_point(|&e| e < value);
+        // lint:allow(L012): `bucket <= edges.len()` and `counts.len() == edges.len() + 1`
         self.counts[bucket] += 1;
         self.total += 1;
         self.sum += value;

@@ -64,7 +64,21 @@ struct Harvest {
     histograms: BTreeMap<String, Histogram>,
     series: BTreeMap<String, Vec<(u64, u64)>>,
     alerts: Vec<AlertRow>,
+    graph: Option<GraphSummary>,
     audit_events: BTreeMap<String, u64>, // fault/retry/vote/fallback/... counts
+}
+
+/// Workspace call-graph totals from a `scan-lint --graph` export's
+/// trailing summary record.
+#[derive(Clone, Copy, Default)]
+struct GraphSummary {
+    files: u64,
+    functions: u64,
+    edges: u64,
+    unresolved: u64,
+    panic_sites: u64,
+    lock_sites: u64,
+    taint_sites: u64,
 }
 
 /// Categorical slots in the stylesheet (`--s0`…`--s7`): a validated
@@ -201,7 +215,11 @@ fn ingest_record(value: &Value, stream: &mut Stream, harvest: &mut Harvest) -> b
                 });
             }
         }
-        "meta" => {}
+        "graph" => harvest.graph = Some(parse_graph_summary(value)),
+        // Per-node and per-edge graph records are raw material for the
+        // summary above — tallying thousands of them in the audit tile
+        // row would drown the actual audit events.
+        "graph_fn" | "graph_edge" | "meta" => {}
         other => {
             // Audit-trail records (fault/retry/vote/fallback/finding/…):
             // tally by type for the audit tile row.
@@ -209,6 +227,21 @@ fn ingest_record(value: &Value, stream: &mut Stream, harvest: &mut Harvest) -> b
         }
     }
     true
+}
+
+/// One `scan-lint --graph` trailing summary record, totals clamped to
+/// non-negative integers.
+fn parse_graph_summary(value: &Value) -> GraphSummary {
+    let field = |name: &str| as_u64(value.get(name).and_then(Value::as_f64).unwrap_or(0.0));
+    GraphSummary {
+        files: field("files"),
+        functions: field("functions"),
+        edges: field("edges"),
+        unresolved: field("unresolved"),
+        panic_sites: field("panic_sites"),
+        lock_sites: field("lock_sites"),
+        taint_sites: field("taint_sites"),
+    }
 }
 
 /// Ingests a whole metrics-snapshot document
@@ -348,6 +381,7 @@ fn render_html(harvest: &Harvest, title: &str) -> String {
     );
     body.push_str(&render_tiles(harvest));
     body.push_str(&render_alerts(harvest));
+    body.push_str(&render_graph_panel(harvest));
     body.push_str(&render_trace_tree(harvest));
     body.push_str(&render_waterfall(harvest));
     body.push_str(&render_sparklines(harvest));
@@ -414,6 +448,34 @@ fn render_tiles(harvest: &Harvest) -> String {
         out.push_str(&tile("Audit events", &fmt_count(audit_total), &kinds));
     }
     out.push_str("</section>\n");
+    out
+}
+
+/// The call-graph panel: one row of totals from a `scan-lint --graph`
+/// export. Absent when no graph summary record was ingested.
+fn render_graph_panel(harvest: &Harvest) -> String {
+    use std::fmt::Write as _;
+    let Some(g) = &harvest.graph else {
+        return String::new();
+    };
+    let mut out = String::from(
+        "<section><h2>Call graph</h2><table><thead><tr>\
+         <th>files</th><th>functions</th><th>edges</th><th>unresolved calls</th>\
+         <th>panic sites</th><th>lock sites</th><th>taint sites</th>\
+         </tr></thead><tbody>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+        fmt_count(g.files),
+        fmt_count(g.functions),
+        fmt_count(g.edges),
+        fmt_count(g.unresolved),
+        fmt_count(g.panic_sites),
+        fmt_count(g.lock_sites),
+        fmt_count(g.taint_sites),
+    );
+    out.push_str("</tbody></table></section>\n");
     out
 }
 
@@ -858,6 +920,24 @@ mod tests {
         };
         let html = render(&[snap], "snap").expect("render");
         assert!(html.contains("a.b"));
+    }
+
+    #[test]
+    fn renders_call_graph_panel_from_graph_summary() {
+        let input = ReportInput {
+            label: "graph.ndjson".into(),
+            text: concat!(
+                "{\"type\":\"graph_fn\",\"id\":0,\"fn\":\"a::f\",\"file\":\"a.rs\",\"line\":1,\"test\":false,\"calls\":1,\"panics\":0,\"locks\":0,\"io\":0,\"taints\":0}\n",
+                "{\"type\":\"graph_edge\",\"from\":0,\"to\":0,\"from_fn\":\"a::f\",\"to_fn\":\"a::f\",\"file\":\"a.rs\",\"line\":2}\n",
+                "{\"type\":\"graph\",\"files\":3,\"functions\":1,\"edges\":1,\"unresolved\":4,\"panic_sites\":5,\"lock_sites\":6,\"taint_sites\":7}\n",
+            )
+            .to_owned(),
+        };
+        let html = render(&[input], "graph").expect("render");
+        assert!(html.contains("Call graph"));
+        assert!(html.contains("panic sites"));
+        // Raw node/edge records feed the summary, not the audit tally.
+        assert!(!html.contains("Audit events"));
     }
 
     #[test]

@@ -237,6 +237,7 @@ fn read_request_target(conn: &mut TcpStream) -> Result<String, HeadError> {
         if n == 0 {
             break;
         }
+        // lint:allow(L012): `read()` guarantees `n <= buf.len()`
         head.extend_from_slice(&buf[..n]);
         if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= REQUEST_CAP {
             break;

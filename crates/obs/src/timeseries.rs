@@ -214,6 +214,7 @@ pub fn windowed_rate(samples: &[Sample], window_ns: u64) -> f64 {
     };
     let cutoff = last_t.saturating_sub(window_ns);
     let start = samples.partition_point(|&(t, _)| t < cutoff);
+    // lint:allow(L012): `partition_point` returns `start <= len`
     let window = &samples[start..];
     let Some(&(first_t, first_v)) = window.first() else {
         return 0.0;

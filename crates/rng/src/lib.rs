@@ -198,6 +198,7 @@ impl ScanRng {
     ///
     /// Panics if `p` is NaN.
     pub fn gen_bool(&mut self, p: f64) -> bool {
+        // lint:allow(L012): documented `# Panics` contract on a caller-supplied argument
         assert!(!p.is_nan(), "gen_bool probability is NaN");
         self.next_f64() < p
     }
@@ -209,9 +210,11 @@ impl ScanRng {
     ///
     /// Panics if `bound` is zero.
     pub fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        // lint:allow(L012): documented `# Panics` contract on a caller-supplied argument
         assert!(bound > 0, "gen_u64_below bound must be nonzero");
         // Lemire 2018: draw x, take hi 64 bits of x*bound; reject the
         // small biased slice of the bottom range.
+        // lint:allow(L012): `bound > 0` is asserted on entry
         let threshold = bound.wrapping_neg() % bound;
         loop {
             let x = self.next_u64();
@@ -240,6 +243,7 @@ impl ScanRng {
     ///
     /// Panics if the range is empty.
     pub fn gen_range(&mut self, low: usize, high: usize) -> usize {
+        // lint:allow(L012): documented `# Panics` contract on a caller-supplied argument
         assert!(low < high, "gen_range range {low}..{high} is empty");
         low + self.gen_index(high - low)
     }

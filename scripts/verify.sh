@@ -26,6 +26,22 @@ mkdir -p "$SMOKE_DIR"
 echo "==> static analysis (scan-lint --deny, findings NDJSON via obs-check)"
 ./target/release/scan-lint --deny --out "$SMOKE_DIR/lint.ndjson"
 ./target/release/obs-check "$SMOKE_DIR/lint.ndjson"
+# The panic-freedom gate must be real, not vacuously green: the
+# workspace config declares roots, and no unsuppressed L012 survives.
+grep -q 'panic_freedom' lint.toml || {
+    echo "lint.toml lost its [roots] panic_freedom declaration"; exit 1;
+}
+UNSUPPRESSED_L012=$(grep '"rule":"L012"' "$SMOKE_DIR/lint.ndjson" | grep -cv '"suppressed"' || true)
+[ "$UNSUPPRESSED_L012" = 0 ] || {
+    echo "verify: $UNSUPPRESSED_L012 unsuppressed L012 finding(s) in the export"; exit 1;
+}
+
+echo "==> call-graph export (scanbist lint --graph via obs-check)"
+./target/release/scanbist lint --graph "$SMOKE_DIR/graph.ndjson"     --out "$SMOKE_DIR/lint_cli.ndjson" 2>> "$SMOKE_DIR/summary.txt"
+./target/release/obs-check "$SMOKE_DIR/graph.ndjson" "$SMOKE_DIR/lint_cli.ndjson"
+grep -q '"type":"graph"' "$SMOKE_DIR/graph.ndjson" || {
+    echo "graph export is missing its trailing summary record"; exit 1;
+}
 
 echo "==> instrumented smoke campaign (--trace --metrics-out --profile-out --audit-out --slo)"
 ./target/release/scanbist \
